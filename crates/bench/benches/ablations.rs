@@ -1,0 +1,95 @@
+//! Ablation benches: the design-space sweeps of DESIGN.md §5, printed
+//! and timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wile_scenarios::ablation;
+
+fn bench_ablations(c: &mut Criterion) {
+    wile_bench::banner("ablation: bitrate sweep (energy vs range)");
+    for p in ablation::bitrate_sweep(128) {
+        println!(
+            "  {:>12}  {:>8.1} µJ  {:>7.1} m",
+            p.rate.to_string(),
+            p.tx_energy_uj,
+            p.range_m
+        );
+    }
+
+    wile_bench::banner("ablation: payload/fragmentation sweep");
+    let cap = wile::encode::FRAGMENT_CAPACITY;
+    for p in ablation::payload_sweep(&[8, cap, cap + 1, 700]) {
+        println!(
+            "  {:>4} B payload -> {:>4} B beacon, {} frag, {:>6.1} µJ",
+            p.payload_len, p.beacon_len, p.fragments, p.tx_energy_uj
+        );
+    }
+
+    wile_bench::banner("ablation: init-time sweep toward ASIC");
+    for p in ablation::init_time_sweep(&[1.0, 0.3, 0.1, 0.01]) {
+        println!(
+            "  init {:>8.4} s -> {:>10.1} µJ full cycle",
+            p.init_s, p.full_cycle_uj
+        );
+    }
+    let asic = ablation::asic_full_cycle();
+    println!(
+        "  ASIC endpoint: {:.1} µJ",
+        asic.energy_per_packet_mj * 1000.0
+    );
+
+    wile_bench::banner("ablation: failed-scan energy");
+    println!(
+        "  failed WiFi-DC wake: {:.1} mJ",
+        ablation::failed_scan_energy_mj()
+    );
+
+    wile_bench::banner("ablation: channel-scan overhead");
+    for k in [3usize, 11] {
+        println!(
+            "  {k} channels: +{:.1} mJ per wake",
+            ablation::channel_scan_overhead_mj(k)
+        );
+    }
+
+    wile_bench::banner("ablation: two-way window cadence (E7)");
+    for p in ablation::twoway_cadence_sweep(&[1, 2, 4], 8) {
+        println!(
+            "  every {}: {:.1} ms listen, {} cmds",
+            p.window_every,
+            p.listen_time_s * 1000.0,
+            p.commands_delivered
+        );
+    }
+
+    wile_bench::banner("ablation: §6 clock-drift decorrelation");
+    let (ideal, drifting) = ablation::drift_ablation(4, 12);
+    println!(
+        "  ideal clocks: {:.0} % delivered; ±20 ppm: {:.0} % (tail {:.0} %)",
+        ideal.delivery_ratio * 100.0,
+        drifting.delivery_ratio * 100.0,
+        drifting.tail_ratio * 100.0
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("bitrate_sweep", |b| {
+        b.iter(|| black_box(ablation::bitrate_sweep(128)))
+    });
+    g.bench_function("payload_sweep", |b| {
+        b.iter(|| black_box(ablation::payload_sweep(&[8, 243, 244, 700])))
+    });
+    g.bench_function("init_sweep", |b| {
+        b.iter(|| black_box(ablation::init_time_sweep(&[1.0, 0.1, 0.01])))
+    });
+    g.bench_function("twoway_cadence", |b| {
+        b.iter(|| black_box(ablation::twoway_cadence_sweep(&[1, 4], 6)))
+    });
+    g.bench_function("drift_fleet_4x12", |b| {
+        b.iter(|| black_box(ablation::drift_ablation(4, 12)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 3: the two current traces, printed as ASCII panels, with the
+//! full trace-generation pipelines benchmarked.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wile_scenarios::{fig3, report};
+
+fn bench_fig3(c: &mut Criterion) {
+    wile_bench::banner("Figure 3a (WiFi)");
+    print!("{}", report::render_fig3(&fig3::fig3a(), 100, 12));
+    wile_bench::banner("Figure 3b (Wi-LE)");
+    print!("{}", report::render_fig3(&fig3::fig3b(), 100, 12));
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("fig3a_pipeline", |b| {
+        b.iter(|| black_box(fig3::fig3a().trace.samples_ma.len()))
+    });
+    g.bench_function("fig3b_pipeline", |b| {
+        b.iter(|| black_box(fig3::fig3b().trace.samples_ma.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

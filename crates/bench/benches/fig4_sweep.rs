@@ -1,0 +1,30 @@
+//! Figure 4: average power vs transmission interval — prints the
+//! curves and benchmarks the sweep + crossover analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wile_scenarios::{fig4, report, table1};
+
+fn bench_fig4(c: &mut Criterion) {
+    wile_bench::banner("Figure 4");
+    let t = table1::table1();
+    let f = fig4::fig4_from(&t, &fig4::default_grid());
+    print!("{}", report::render_fig4(&f, 100, 16));
+    println!(
+        "Wi-LE vs best-WiFi ratio: {:.0}x @1min, {:.0}x @5min",
+        f.wifi_to_wile_ratio(1.0),
+        f.wifi_to_wile_ratio(5.0)
+    );
+
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("sweep_100_points", |b| {
+        b.iter(|| black_box(fig4::fig4_from(&t, &fig4::default_grid())))
+    });
+    g.bench_function("crossover_search", |b| {
+        b.iter(|| black_box(f.ps_dc_crossover_min()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 1: energy per packet + idle current for the four scenarios.
+//!
+//! Prints the reproduced table (against the paper's values), then
+//! benchmarks each scenario runner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wile_scenarios::{ble, report, table1, wifi_dc, wifi_ps, wile_sc};
+
+fn bench_table1(c: &mut Criterion) {
+    wile_bench::banner("Table 1");
+    print!("{}", report::render_table1(&table1::table1()));
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("wile_row", |b| b.iter(|| black_box(wile_sc::table1_row())));
+    g.bench_function("ble_row", |b| b.iter(|| black_box(ble::table1_row())));
+    g.bench_function("wifi_ps_row", |b| {
+        b.iter(|| black_box(wifi_ps::table1_row()))
+    });
+    g.bench_function("wifi_dc_row", |b| {
+        b.iter(|| black_box(wifi_dc::table1_row()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

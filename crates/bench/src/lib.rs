@@ -1,0 +1,22 @@
+//! # wile-bench — benchmark harness
+//!
+//! Criterion benchmarks, one target per paper artifact plus codec
+//! microbenchmarks and ablations:
+//!
+//! * `table1_energy` — regenerates Table 1 and benchmarks each
+//!   scenario's runner;
+//! * `fig3_traces` — regenerates and times the Figure 3a/3b pipelines
+//!   (connection choreography, 50 kS/s sampling);
+//! * `fig4_sweep` — the Equation (1) sweep and crossover search;
+//! * `codec` — frame build/parse throughput, including the §5.4
+//!   precomputed-template fast path vs a full rebuild;
+//! * `ablations` — bitrate, payload-size, init-time and clock-drift
+//!   sweeps.
+//!
+//! Each bench *prints the reproduced rows/series* before measuring, so
+//! `cargo bench` doubles as the artifact regenerator.
+
+/// Shared helper: print a header for a reproduced artifact.
+pub fn banner(artifact: &str) {
+    println!("\n=== reproducing {artifact} ===");
+}

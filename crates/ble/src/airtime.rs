@@ -1,0 +1,63 @@
+//! BLE 1 Mb/s airtime: 8 µs per byte, no preamble subtleties beyond the
+//! fixed packet framing (1 preamble + 4 access address + PDU + 3 CRC).
+
+use wile_radio::time::Duration;
+
+/// On-air duration of an advertising packet whose *PDU* (header +
+/// payload) is `pdu_len` bytes.
+pub fn adv_packet_airtime(pdu_len: usize) -> Duration {
+    Duration::from_us(((1 + 4 + pdu_len + 3) * 8) as u64)
+}
+
+/// Airtime of a full advertising packet given the AdvData length.
+pub fn adv_airtime_for_data(adv_data_len: usize) -> Duration {
+    // PDU = 2 header + 6 AdvA + data.
+    adv_packet_airtime(2 + 6 + adv_data_len)
+}
+
+/// The nominal bit energy of BLE at the physical layer, nJ/bit, as the
+/// paper quotes: "the energy required to transmit one bit of data using
+/// Bluetooth is 275-300 nJ/bit". Computed from a current model:
+/// `I × V / bitrate`.
+pub fn phy_energy_per_bit_nj(tx_ma: f64, supply_v: f64) -> f64 {
+    tx_ma * 1e-3 * supply_v / 1e6 * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_adv_data_airtime() {
+        // 1+4+8+3 = 16 bytes → 128 µs.
+        assert_eq!(adv_airtime_for_data(0), Duration::from_us(128));
+    }
+
+    #[test]
+    fn max_adv_data_airtime() {
+        // 31-byte data: 1+4+39+3 = 47 bytes → 376 µs.
+        assert_eq!(adv_airtime_for_data(31), Duration::from_us(376));
+    }
+
+    #[test]
+    fn airtime_linear_in_length() {
+        let a = adv_airtime_for_data(10);
+        let b = adv_airtime_for_data(11);
+        assert_eq!(b - a, Duration::from_us(8));
+    }
+
+    #[test]
+    fn paper_energy_per_bit_claim() {
+        // §1: BLE needs 275-300 nJ/bit at the PHY. A CC2541-class radio
+        // at ~18 mA / 3 V / 1 Mb/s lands in 50-60 nJ/bit of pure PA
+        // energy; the paper's figure includes controller overheads —
+        // compute both and confirm the PHY-only number is below the
+        // quoted envelope while the all-in number is inside it.
+        let pa_only = phy_energy_per_bit_nj(18.2, 3.0);
+        assert!(pa_only > 40.0 && pa_only < 70.0, "{pa_only}");
+        // All-in: an 71 µJ event moving ~30 bytes of payload = 240 bits
+        // → ~296 nJ/bit, inside the paper's 275-300 envelope.
+        let all_in = 71_000.0 / 240.0;
+        assert!((275.0..=305.0).contains(&all_in), "{all_in}");
+    }
+}

@@ -1,0 +1,90 @@
+//! BLE channel whitening: a 7-bit LFSR (x⁷ + x⁴ + 1) XORed over the PDU
+//! and CRC, seeded from the RF channel index.
+
+/// Whitening LFSR.
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    lfsr: u8,
+}
+
+impl Whitener {
+    /// Initialise for an RF channel index (0–39): position 0 set to 1,
+    /// positions 1–6 holding the channel index MSB-first.
+    pub fn for_channel(channel_idx: u8) -> Self {
+        assert!(channel_idx <= 39, "BLE channel index 0-39");
+        // Register bit6..bit0; bit6 = 1, bits5..0 = channel index.
+        Whitener {
+            lfsr: 0x40 | (channel_idx & 0x3F),
+        }
+    }
+
+    /// Produce the next whitening bit.
+    fn next_bit(&mut self) -> u8 {
+        let out = (self.lfsr >> 6) & 1;
+        let mut next = (self.lfsr << 1) & 0x7F;
+        if out == 1 {
+            next ^= 0x11; // taps into positions 0 and 4
+        }
+        self.lfsr = next;
+        out
+    }
+
+    /// Whiten (or de-whiten — it is an involution) `data` in place,
+    /// LSB-first within each byte as on air.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data {
+            for bit in 0..8 {
+                let w = self.next_bit();
+                *byte ^= w << bit;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitening_is_an_involution() {
+        for ch in [37u8, 38, 39, 0, 17] {
+            let original: Vec<u8> = (0..60u8).collect();
+            let mut data = original.clone();
+            Whitener::for_channel(ch).apply(&mut data);
+            assert_ne!(data, original, "channel {ch} changed nothing");
+            Whitener::for_channel(ch).apply(&mut data);
+            assert_eq!(data, original, "channel {ch} did not undo");
+        }
+    }
+
+    #[test]
+    fn different_channels_whiten_differently() {
+        let mut a = vec![0u8; 16];
+        let mut b = vec![0u8; 16];
+        Whitener::for_channel(37).apply(&mut a);
+        Whitener::for_channel(38).apply(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sequence_is_periodic_127() {
+        // A 7-bit maximal LFSR repeats with period 127 bits.
+        let mut w = Whitener::for_channel(37);
+        let seq: Vec<u8> = (0..254).map(|_| w.next_bit()).collect();
+        assert_eq!(seq[..127], seq[127..]);
+        // And it is not all zeros.
+        assert!(seq[..127].contains(&1));
+        assert!(seq[..127].contains(&0));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel index")]
+    fn channel_out_of_range_rejected() {
+        Whitener::for_channel(40);
+    }
+
+    #[test]
+    fn empty_buffer_ok() {
+        Whitener::for_channel(37).apply(&mut []);
+    }
+}

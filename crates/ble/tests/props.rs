@@ -1,0 +1,113 @@
+//! Property-based tests for the BLE codec.
+
+use proptest::prelude::*;
+use wile_ble::ad::{find_manufacturer, iter_ads, push_ad, push_manufacturer};
+use wile_ble::airtime::adv_airtime_for_data;
+use wile_ble::crc24::{check_adv_crc, crc24, crc_to_air_bytes, ADV_CRC_INIT};
+use wile_ble::pdu::{AdvPdu, BleAddr, MAX_ADV_DATA};
+use wile_ble::whitening::Whitener;
+
+fn arb_adv_channel() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![37u8, 38, 39])
+}
+
+proptest! {
+    #[test]
+    fn pdu_round_trip(
+        id in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..=MAX_ADV_DATA),
+    ) {
+        let pdu = AdvPdu::nonconn(BleAddr::random_static(id), &data);
+        let parsed = AdvPdu::parse(&pdu.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, pdu);
+    }
+
+    #[test]
+    fn air_round_trip(
+        id in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..=MAX_ADV_DATA),
+        ch in arb_adv_channel(),
+    ) {
+        let pdu = AdvPdu::nonconn(BleAddr::random_static(id), &data);
+        let air = pdu.to_air_bytes(ch);
+        prop_assert_eq!(AdvPdu::from_air_bytes(&air, ch).unwrap(), pdu);
+    }
+
+    #[test]
+    fn air_tamper_always_detected(
+        id in any::<u32>(),
+        data in prop::collection::vec(any::<u8>(), 0..=MAX_ADV_DATA),
+        ch in arb_adv_channel(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let pdu = AdvPdu::nonconn(BleAddr::random_static(id), &data);
+        let mut air = pdu.to_air_bytes(ch);
+        // Skip the preamble/AA (not covered by CRC; receivers match on
+        // them exactly, which from_air_bytes also checks).
+        let i = 5 + byte.index(air.len() - 5);
+        air[i] ^= 1 << bit;
+        prop_assert!(AdvPdu::from_air_bytes(&air, ch).is_none());
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64), ch in arb_adv_channel()) {
+        let _ = AdvPdu::parse(&bytes);
+        let _ = AdvPdu::from_air_bytes(&bytes, ch);
+    }
+
+    #[test]
+    fn whitening_involution(ch in 0u8..=39, mut data in prop::collection::vec(any::<u8>(), 0..128)) {
+        let orig = data.clone();
+        Whitener::for_channel(ch).apply(&mut data);
+        Whitener::for_channel(ch).apply(&mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips(
+        data in prop::collection::vec(any::<u8>(), 1..64),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let crc = crc_to_air_bytes(crc24(ADV_CRC_INIT, &data));
+        let mut bad = data.clone();
+        let i = byte.index(bad.len());
+        bad[i] ^= 1 << bit;
+        prop_assert!(!check_adv_crc(&bad, &crc));
+        prop_assert!(check_adv_crc(&data, &crc));
+    }
+
+    #[test]
+    fn airtime_linear(len in 0usize..=31) {
+        let t = adv_airtime_for_data(len);
+        prop_assert_eq!(t.as_us(), ((16 + len) * 8) as u64);
+    }
+
+    #[test]
+    fn ad_structures_round_trip(
+        company in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let mut adv = Vec::new();
+        prop_assume!(push_manufacturer(&mut adv, company, &payload));
+        prop_assert_eq!(find_manufacturer(&adv, company), Some(&payload[..]));
+        prop_assert_eq!(iter_ads(&adv).count(), 1);
+    }
+
+    #[test]
+    fn ad_iterator_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..40)) {
+        let _ = iter_ads(&bytes).count();
+    }
+
+    #[test]
+    fn ad_budget_never_exceeded(
+        items in prop::collection::vec((any::<u8>(), prop::collection::vec(any::<u8>(), 0..30)), 0..8),
+    ) {
+        let mut adv = Vec::new();
+        for (t, d) in &items {
+            push_ad(&mut adv, *t, d);
+        }
+        prop_assert!(adv.len() <= MAX_ADV_DATA);
+    }
+}

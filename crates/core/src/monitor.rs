@@ -1,0 +1,387 @@
+//! The receiver side of Wi-LE.
+//!
+//! "A simple Android or iOS application or other software running on a
+//! host can retrieve the sensor's data. This application looks for
+//! special beacon frames transmitted by IoT devices and extracts their
+//! data from the beacon frames." (§4)
+//!
+//! [`Gateway`] is that application: it pulls frames from a radio's
+//! inbox, keeps only valid-FCS Wi-LE beacons, reassembles fragments,
+//! deduplicates on (device id, sequence number), and optionally
+//! decrypts against a [`crate::registry::Registry`].
+
+use crate::beacon::wile_fragments;
+use crate::encode::decode_fragments;
+use crate::registry::Registry;
+use crate::security::decrypt_message;
+use std::collections::HashSet;
+use wile_dot11::fcs;
+use wile_dot11::mgmt::Beacon;
+use wile_radio::medium::{Medium, RadioId};
+use wile_radio::time::Instant;
+
+/// One delivered Wi-LE reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Received {
+    /// Sending device.
+    pub device_id: u32,
+    /// Message sequence number.
+    pub seq: u16,
+    /// Payload (plaintext, or ciphertext when `encrypted`).
+    pub payload: Vec<u8>,
+    /// Whether the payload is still sealed.
+    pub encrypted: bool,
+    /// Arrival time (end of the beacon on air).
+    pub at: Instant,
+    /// Received signal strength, dBm.
+    pub rssi_dbm: f64,
+}
+
+/// Counters the gateway keeps while scanning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Frames pulled from the radio.
+    pub frames_seen: u64,
+    /// Frames dropped for a bad FCS (fault injection, collisions).
+    pub bad_fcs: u64,
+    /// Valid beacons that were not Wi-LE (ordinary APs).
+    pub foreign_beacons: u64,
+    /// Wi-LE messages dropped as duplicates.
+    pub duplicates: u64,
+    /// Wi-LE beacons whose fragments did not reassemble.
+    pub reassembly_failures: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+}
+
+impl Received {
+    /// Crude ranging: invert the path-loss model at the measured RSSI,
+    /// assuming the sender transmitted at `tx_power_dbm` (Wi-LE's fixed
+    /// 0 dBm makes this workable — a luxury ordinary WiFi, with its
+    /// dynamic TX power, does not offer). Shadowing makes this a
+    /// log-normal estimate, not a measurement.
+    pub fn estimate_distance_m(
+        &self,
+        model: &wile_radio::channel::ChannelModel,
+        tx_power_dbm: f64,
+    ) -> f64 {
+        let loss_db = tx_power_dbm - self.rssi_dbm;
+        10f64.powf((loss_db - model.pl0_db) / (10.0 * model.exponent))
+    }
+}
+
+/// The scanning receiver.
+#[derive(Debug, Default)]
+pub struct Gateway {
+    seen: HashSet<(u32, u16)>,
+    stats: GatewayStats,
+}
+
+impl Gateway {
+    /// A fresh gateway.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The running counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Pull everything that arrived at `radio` by `up_to` and return the
+    /// new Wi-LE messages, in arrival order.
+    pub fn poll(&mut self, medium: &mut Medium, radio: RadioId, up_to: Instant) -> Vec<Received> {
+        let mut out = Vec::new();
+        for rx in medium.take_inbox(radio, up_to) {
+            self.stats.frames_seen += 1;
+            if !fcs::check_fcs(&rx.bytes) {
+                self.stats.bad_fcs += 1;
+                continue;
+            }
+            let Ok(beacon) = Beacon::new_checked(&rx.bytes[..]) else {
+                self.stats.foreign_beacons += 1;
+                continue;
+            };
+            let frags = wile_fragments(&beacon);
+            if frags.is_empty() {
+                self.stats.foreign_beacons += 1;
+                continue;
+            }
+            let Some(msg) = decode_fragments(frags.into_iter()) else {
+                self.stats.reassembly_failures += 1;
+                continue;
+            };
+            if !self.seen.insert((msg.device_id, msg.seq)) {
+                self.stats.duplicates += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            out.push(Received {
+                device_id: msg.device_id,
+                seq: msg.seq,
+                encrypted: msg.is_encrypted(),
+                payload: msg.payload,
+                at: rx.at,
+                rssi_dbm: rx.rssi_dbm,
+            });
+        }
+        out
+    }
+
+    /// Like [`Gateway::poll`], but decrypt sealed payloads against
+    /// `registry` (messages that fail to decrypt are dropped and counted
+    /// as reassembly failures — an attacker should be indistinguishable
+    /// from noise).
+    pub fn poll_decrypt(
+        &mut self,
+        medium: &mut Medium,
+        radio: RadioId,
+        up_to: Instant,
+        registry: &Registry,
+        epoch: u16,
+    ) -> Vec<Received> {
+        self.poll(medium, radio, up_to)
+            .into_iter()
+            .filter_map(|mut r| {
+                if !r.encrypted {
+                    return Some(r);
+                }
+                let identity = registry.get(r.device_id)?;
+                let msg = crate::message::Message {
+                    device_id: r.device_id,
+                    seq: r.seq,
+                    flags: crate::message::FLAG_ENCRYPTED,
+                    payload: r.payload.clone(),
+                };
+                match decrypt_message(identity, epoch, &msg) {
+                    Ok(plain) => {
+                        r.payload = plain;
+                        r.encrypted = false;
+                        Some(r)
+                    }
+                    Err(_) => {
+                        self.stats.reassembly_failures += 1;
+                        self.stats.delivered -= 1;
+                        None
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Forget dedup state older than the current generation (call
+    /// occasionally on long-running gateways to bound memory; sequence
+    /// numbers wrap at 65536 so a full clear per epoch is correct).
+    pub fn clear_dedup(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use wile_dot11::mgmt::BeaconBuilder;
+    use wile_dot11::MacAddr;
+    use wile_radio::medium::{RadioConfig, TxParams};
+    use wile_radio::time::Duration;
+
+    fn setup() -> (Medium, RadioId, RadioId) {
+        let mut medium = Medium::new(Default::default(), 5);
+        let sensor = medium.attach(RadioConfig::default());
+        let phone = medium.attach(RadioConfig {
+            position_m: (3.0, 0.0),
+            ..Default::default()
+        });
+        (medium, sensor, phone)
+    }
+
+    #[test]
+    fn end_to_end_delivery() {
+        let (mut medium, sensor, phone) = setup();
+        let mut inj = Injector::new(DeviceIdentity::new(42), Instant::ZERO);
+        inj.inject(&mut medium, sensor, b"t=21.5C");
+        let mut gw = Gateway::new();
+        let got = gw.poll(&mut medium, phone, Instant::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].device_id, 42);
+        assert_eq!(got[0].payload, b"t=21.5C");
+        assert!(!got[0].encrypted);
+        assert!(got[0].rssi_dbm < 0.0);
+        assert_eq!(gw.stats().delivered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let (mut medium, sensor, phone) = setup();
+        // Two identical beacons (same device, same seq) — e.g. an
+        // application-level repeat for reliability.
+        let msg = Message::new(1, 9, b"x");
+        for i in 0..2u64 {
+            let frame = crate::beacon::build_wile_beacon(
+                MacAddr::from_device_id(1),
+                &msg,
+                wile_dot11::mac::SeqControl::new(i as u16, 0),
+                0,
+            )
+            .unwrap();
+            medium.transmit(
+                sensor,
+                Instant::from_ms(1 + i),
+                TxParams {
+                    airtime: Duration::from_us(50),
+                    power_dbm: 0.0,
+                    min_snr_db: 5.0,
+                },
+                frame,
+            );
+        }
+        let mut gw = Gateway::new();
+        let got = gw.poll(&mut medium, phone, Instant::from_secs(1));
+        assert_eq!(got.len(), 1);
+        assert_eq!(gw.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn foreign_beacons_counted_not_delivered() {
+        let (mut medium, sensor, phone) = setup();
+        let ap_beacon = BeaconBuilder::new(MacAddr::new([9; 6]))
+            .ssid(b"HomeNet")
+            .build();
+        medium.transmit(
+            sensor,
+            Instant::from_ms(1),
+            TxParams {
+                airtime: Duration::from_us(100),
+                power_dbm: 20.0,
+                min_snr_db: 4.0,
+            },
+            ap_beacon,
+        );
+        let mut gw = Gateway::new();
+        assert!(gw
+            .poll(&mut medium, phone, Instant::from_secs(1))
+            .is_empty());
+        assert_eq!(gw.stats().foreign_beacons, 1);
+    }
+
+    #[test]
+    fn corrupted_frames_dropped_by_fcs() {
+        let (mut medium, sensor, phone) = setup();
+        let msg = Message::new(1, 0, b"data");
+        let mut frame = crate::beacon::build_wile_beacon(
+            MacAddr::from_device_id(1),
+            &msg,
+            wile_dot11::mac::SeqControl::new(0, 0),
+            0,
+        )
+        .unwrap();
+        frame[30] ^= 0xFF; // corrupt without fixing FCS
+        medium.transmit(
+            sensor,
+            Instant::from_ms(1),
+            TxParams {
+                airtime: Duration::from_us(50),
+                power_dbm: 0.0,
+                min_snr_db: 5.0,
+            },
+            frame,
+        );
+        let mut gw = Gateway::new();
+        assert!(gw
+            .poll(&mut medium, phone, Instant::from_secs(1))
+            .is_empty());
+        assert_eq!(gw.stats().bad_fcs, 1);
+    }
+
+    #[test]
+    fn encrypted_end_to_end_with_registry() {
+        let (mut medium, sensor, phone) = setup();
+        let registry = Registry::provision_fleet(b"deploy", 5);
+        let mut inj = Injector::new(registry.get(3).unwrap().clone(), Instant::ZERO);
+        inj.inject_sealed(&mut medium, sensor, b"secret=42");
+        let mut gw = Gateway::new();
+        let got = gw.poll_decrypt(&mut medium, phone, Instant::from_secs(5), &registry, 0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, b"secret=42");
+        assert!(!got[0].encrypted);
+    }
+
+    #[test]
+    fn unknown_device_ciphertext_dropped() {
+        let (mut medium, sensor, phone) = setup();
+        let registry = Registry::provision_fleet(b"deploy", 2);
+        // Device 9 is not in the registry.
+        let mut inj = Injector::new(DeviceIdentity::with_key(9, b"deploy"), Instant::ZERO);
+        inj.inject_sealed(&mut medium, sensor, b"whoami");
+        let mut gw = Gateway::new();
+        let got = gw.poll_decrypt(&mut medium, phone, Instant::from_secs(5), &registry, 0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn poll_without_decrypt_passes_ciphertext_through() {
+        let (mut medium, sensor, phone) = setup();
+        let mut inj = Injector::new(DeviceIdentity::with_key(7, b"s"), Instant::ZERO);
+        inj.inject_sealed(&mut medium, sensor, b"sealed!");
+        let mut gw = Gateway::new();
+        let got = gw.poll(&mut medium, phone, Instant::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert!(got[0].encrypted);
+        assert_ne!(got[0].payload, b"sealed!");
+    }
+
+    #[test]
+    fn clear_dedup_allows_seq_reuse() {
+        let (mut medium, sensor, phone) = setup();
+        let mut gw = Gateway::new();
+        let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+        inj.inject(&mut medium, sensor, b"a");
+        assert_eq!(gw.poll(&mut medium, phone, Instant::from_secs(1)).len(), 1);
+        gw.clear_dedup();
+        // Same (device, seq) again after an epoch clear: delivered.
+        let msg = Message::new(1, 0, b"a");
+        let frame = crate::beacon::build_wile_beacon(
+            MacAddr::from_device_id(1),
+            &msg,
+            wile_dot11::mac::SeqControl::new(5, 0),
+            0,
+        )
+        .unwrap();
+        medium.transmit(
+            sensor,
+            inj.now() + Duration::from_secs(2),
+            TxParams {
+                airtime: Duration::from_us(50),
+                power_dbm: 0.0,
+                min_snr_db: 5.0,
+            },
+            frame,
+        );
+        assert_eq!(gw.poll(&mut medium, phone, Instant::from_secs(10)).len(), 1);
+    }
+
+    #[test]
+    fn rssi_ranging_recovers_distance_without_shadowing() {
+        let (mut medium, sensor, phone) = setup(); // phone at 3 m, no shadowing
+        let model = *medium.model();
+        let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+        inj.inject(&mut medium, sensor, b"x");
+        let mut gw = Gateway::new();
+        let got = gw.poll(&mut medium, phone, Instant::from_secs(2));
+        let d = got[0].estimate_distance_m(&model, 0.0);
+        assert!((d - 3.0).abs() < 0.01, "estimated {d} m");
+    }
+
+    #[test]
+    fn multi_fragment_message_delivered() {
+        let (mut medium, sensor, phone) = setup();
+        let mut inj = Injector::new(DeviceIdentity::new(2), Instant::ZERO);
+        let big: Vec<u8> = (0..700u32).map(|i| i as u8).collect();
+        inj.inject(&mut medium, sensor, &big);
+        let mut gw = Gateway::new();
+        let got = gw.poll(&mut medium, phone, Instant::from_secs(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, big);
+    }
+}

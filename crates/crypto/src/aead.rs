@@ -1,0 +1,181 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8) — the construction Wi-LE's
+//! optional payload security (§6 of the paper) uses.
+
+use crate::chacha20::{self, block, xor_stream};
+use crate::ct_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// AEAD failure: the tag did not verify. The ciphertext is not returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// Encrypt `plaintext` with additional data `aad`, returning
+/// `ciphertext || tag`.
+pub fn seal(
+    key: &[u8; chacha20::KEY_LEN],
+    nonce: &[u8; chacha20::NONCE_LEN],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    xor_stream(key, 1, nonce, &mut out);
+    let tag = compute_tag(key, nonce, aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verify and decrypt `ciphertext || tag`. Returns the plaintext, or an
+/// error without revealing anything if the tag does not verify.
+pub fn open(
+    key: &[u8; chacha20::KEY_LEN],
+    nonce: &[u8; chacha20::NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError);
+    }
+    let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let want = compute_tag(key, nonce, aad, ct);
+    if !ct_eq(&want, tag) {
+        return Err(AeadError);
+    }
+    let mut out = ct.to_vec();
+    xor_stream(key, 1, nonce, &mut out);
+    Ok(out)
+}
+
+fn compute_tag(
+    key: &[u8; chacha20::KEY_LEN],
+    nonce: &[u8; chacha20::NONCE_LEN],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; TAG_LEN] {
+    // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+    let otk_block = block(key, 0, nonce);
+    let otk: [u8; 32] = otk_block[..32].try_into().unwrap();
+    let mut mac = Poly1305::new(&otk);
+    mac.update(aad);
+    mac.update(&zero_pad(aad.len()));
+    mac.update(ciphertext);
+    mac.update(&zero_pad(ciphertext.len()));
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+fn zero_pad(len: usize) -> Vec<u8> {
+    vec![0u8; (16 - len % 16) % 16]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = 0x80 + i as u8;
+        }
+        k
+    }
+
+    const RFC_NONCE: [u8; 12] = [
+        0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+    ];
+    const RFC_AAD: [u8; 12] = [
+        0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+    ];
+    const RFC_PLAINTEXT: &[u8] =
+        b"Ladies and Gentlemen of the class of '99: If I could offer you o\
+nly one tip for the future, sunscreen would be it.";
+
+    #[test]
+    fn rfc8439_seal_vector() {
+        let sealed = seal(&rfc_key(), &RFC_NONCE, &RFC_AAD, RFC_PLAINTEXT);
+        // RFC 8439 §2.8.2: tag.
+        assert_eq!(
+            hex(&sealed[sealed.len() - 16..]),
+            "1ae10b594f09e26a7e902ecbd0600691"
+        );
+        // First ciphertext bytes.
+        assert_eq!(hex(&sealed[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
+    }
+
+    #[test]
+    fn rfc8439_open_round_trip() {
+        let sealed = seal(&rfc_key(), &RFC_NONCE, &RFC_AAD, RFC_PLAINTEXT);
+        let opened = open(&rfc_key(), &RFC_NONCE, &RFC_AAD, &sealed).unwrap();
+        assert_eq!(opened, RFC_PLAINTEXT);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let mut sealed = seal(&rfc_key(), &RFC_NONCE, &RFC_AAD, RFC_PLAINTEXT);
+        for i in [0usize, 50, 113] {
+            sealed[i] ^= 1;
+            assert_eq!(
+                open(&rfc_key(), &RFC_NONCE, &RFC_AAD, &sealed),
+                Err(AeadError)
+            );
+            sealed[i] ^= 1;
+        }
+        // Untampered still opens.
+        assert!(open(&rfc_key(), &RFC_NONCE, &RFC_AAD, &sealed).is_ok());
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let mut sealed = seal(&rfc_key(), &RFC_NONCE, &RFC_AAD, b"msg");
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(
+            open(&rfc_key(), &RFC_NONCE, &RFC_AAD, &sealed),
+            Err(AeadError)
+        );
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let sealed = seal(&rfc_key(), &RFC_NONCE, b"context-a", b"msg");
+        assert_eq!(
+            open(&rfc_key(), &RFC_NONCE, b"context-b", &sealed),
+            Err(AeadError)
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = seal(&rfc_key(), &RFC_NONCE, b"", b"msg");
+        let mut other = rfc_key();
+        other[0] ^= 1;
+        assert_eq!(open(&other, &RFC_NONCE, b"", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let sealed = seal(&rfc_key(), &RFC_NONCE, b"", b"");
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&rfc_key(), &RFC_NONCE, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn too_short_input_rejected() {
+        assert_eq!(
+            open(&rfc_key(), &RFC_NONCE, b"", &[0u8; 15]),
+            Err(AeadError)
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The 802.11i PRF (IEEE 802.11i-2004 §8.5.1.1): expands the PMK into the
+//! pairwise transient key during the 4-way handshake.
+//!
+//! `PRF-n(K, A, B)` concatenates `HMAC-SHA1(K, A || 0x00 || B || i)` for
+//! i = 0, 1, … until n bits are produced.
+
+use crate::hmac::hmac_sha1;
+
+/// Produce `out.len()` bytes of PRF output from key `k`, label `a` and
+/// context `b`.
+pub fn prf(k: &[u8], a: &[u8], b: &[u8], out: &mut [u8]) {
+    let mut i = 0u8;
+    let mut produced = 0usize;
+    while produced < out.len() {
+        let mut msg = Vec::with_capacity(a.len() + 1 + b.len() + 1);
+        msg.extend_from_slice(a);
+        msg.push(0);
+        msg.extend_from_slice(b);
+        msg.push(i);
+        let d = hmac_sha1(k, &msg);
+        let take = (out.len() - produced).min(d.len());
+        out[produced..produced + take].copy_from_slice(&d[..take]);
+        produced += take;
+        i += 1;
+    }
+}
+
+/// Derive the 384-bit WPA2 pairwise transient key.
+///
+/// `PTK = PRF-384(PMK, "Pairwise key expansion", min(AA,SA) || max(AA,SA)
+/// || min(ANonce,SNonce) || max(ANonce,SNonce))`.
+///
+/// The PTK splits into KCK (16 B, MICs EAPOL frames), KEK (16 B, wraps the
+/// GTK) and TK (16 B, encrypts data frames).
+pub fn derive_ptk(
+    pmk: &[u8; 32],
+    aa: &[u8; 6],
+    sa: &[u8; 6],
+    anonce: &[u8; 32],
+    snonce: &[u8; 32],
+) -> [u8; 48] {
+    let (mac1, mac2) = if aa <= sa { (aa, sa) } else { (sa, aa) };
+    let (n1, n2) = if anonce <= snonce {
+        (anonce, snonce)
+    } else {
+        (snonce, anonce)
+    };
+    let mut b = Vec::with_capacity(12 + 64);
+    b.extend_from_slice(mac1);
+    b.extend_from_slice(mac2);
+    b.extend_from_slice(n1);
+    b.extend_from_slice(n2);
+    let mut ptk = [0u8; 48];
+    prf(pmk, b"Pairwise key expansion", &b, &mut ptk);
+    ptk
+}
+
+/// The key confirmation key — the first 16 bytes of the PTK, used to MIC
+/// EAPOL-Key frames.
+pub fn kck(ptk: &[u8; 48]) -> [u8; 16] {
+    ptk[..16].try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // IEEE 802.11i-2004 Annex H.3 PRF test vectors (from RFC 2202 keys).
+    #[test]
+    fn ieee_prf_vector_1() {
+        let mut out = [0u8; 64];
+        prf(&[0x0b; 20], b"prefix", b"Hi There", &mut out);
+        assert_eq!(
+            hex(&out),
+            "bcd4c650b30b9684951829e0d75f9d54b862175ed9f00606e17d8da35402ffee\
+             75df78c3d31e0f889f012120c0862beb67753e7439ae242edb8373698356cf5a"
+        );
+    }
+
+    #[test]
+    fn ieee_prf_vector_2() {
+        let mut out = [0u8; 64];
+        prf(
+            b"Jefe",
+            b"prefix-2",
+            b"what do ya want for nothing?",
+            &mut out,
+        );
+        assert_eq!(
+            hex(&out),
+            "47c4908e30c947521ad20be9053450ecbea23d3aa604b77326d8b3825ff7475c\
+             06f51fb9c5313d1e9f90d897d134b72e090fc23150bc8414382043418678e700"
+        );
+    }
+
+    #[test]
+    fn prf_prefix_property() {
+        // Shorter outputs are prefixes of longer ones.
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 48];
+        prf(b"key", b"label", b"data", &mut a);
+        prf(b"key", b"label", b"data", &mut b);
+        assert_eq!(a[..], b[..16]);
+    }
+
+    #[test]
+    fn ptk_symmetric_in_addresses_and_nonces() {
+        let pmk = [7u8; 32];
+        let aa = [0xAA, 0, 0, 0, 0, 1];
+        let sa = [0x02, 0, 0, 0, 0, 5];
+        let an = [1u8; 32];
+        let sn = [2u8; 32];
+        // Swapping the roles must produce the same PTK (both sides compute it).
+        assert_eq!(
+            derive_ptk(&pmk, &aa, &sa, &an, &sn),
+            derive_ptk(&pmk, &sa, &aa, &sn, &an)
+        );
+    }
+
+    #[test]
+    fn ptk_differs_with_nonce() {
+        let pmk = [7u8; 32];
+        let aa = [0xAA, 0, 0, 0, 0, 1];
+        let sa = [0x02, 0, 0, 0, 0, 5];
+        let p1 = derive_ptk(&pmk, &aa, &sa, &[1; 32], &[2; 32]);
+        let p2 = derive_ptk(&pmk, &aa, &sa, &[1; 32], &[3; 32]);
+        assert_ne!(p1, p2);
+        assert_ne!(kck(&p1), kck(&p2));
+    }
+}

@@ -1,0 +1,198 @@
+//! SHA-1 (FIPS 180-4).
+//!
+//! SHA-1 is cryptographically broken for collision resistance, but WPA2's
+//! key derivation and EAPOL MICs are specified over HMAC-SHA1, so a
+//! faithful reproduction of the 802.11i handshake needs it. Do not use it
+//! for anything new.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+/// Internal block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use wile_crypto::Sha1;
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(hex(&d), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Sha1 {
+    /// Fresh hasher with the FIPS initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot digest.
+    pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = BLOCK_LEN - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let (block, rest) = data.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // Note: the 0x80 update bumped total_len, but bit_len was latched first.
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_all_splits() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let want = Sha1::digest(&data);
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 199, 200] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split {split}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_inputs() {
+        // 55, 56 and 64 bytes exercise the padding edge cases.
+        for len in [55usize, 56, 63, 64, 119, 120, 128] {
+            let data = vec![0x5Au8; len];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(core::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! ESP32 calibration constants.
+//!
+//! Every number here is anchored to the paper (§5.1, Figure 3, Table 1)
+//! or the ESP32 datasheet the paper cites; the handful that the paper
+//! does not state directly (active-mode and TX currents) are tuned so the
+//! *integrated* traces land on the paper's measured energies:
+//! 84 µJ per Wi-LE packet, 238.2 mJ per WiFi-DC packet, 19.8 mJ per
+//! WiFi-PS packet (Table 1).
+
+use crate::current::CurrentModel;
+use wile_radio::time::Duration;
+
+/// Supply voltage the paper feeds the module ("a clean 3.3 volt DC
+/// source", §5.1 footnote).
+pub const SUPPLY_V: f64 = 3.3;
+
+/// The current model of the paper's ESP32 module.
+pub fn esp32_current_model() -> CurrentModel {
+    CurrentModel {
+        // §5.1: "as low as 2.5 µA" in deep sleep.
+        deep_sleep_ma: 0.0025,
+        // §5.1: "as low as 0.8 mA" in light sleep.
+        light_sleep_ma: 0.8,
+        // §5.1: "about 5 mA" in automatic light sleep with WiFi;
+        // Table 1 reports the WiFi-PS idle column as 4500 µA.
+        auto_light_sleep_ma: 4.5,
+        // Active @80 MHz (paper's default clock), CPU + flash + RF
+        // calibration during bring-up. Tuned so the Fig. 3a phase
+        // energies integrate to Table 1's 238.2 mJ per WiFi-DC packet.
+        active_ma: 55.0,
+        active_ref_mhz: 80,
+        // ESP32 datasheet: ~20 mA extra from 80→240 MHz.
+        active_ma_per_mhz: 0.125,
+        // Radio on, listening: Fig. 3a association phase baseline.
+        listen_ma: 95.0,
+        // §5.2: "the current draw drops to 20-30 mA for most of this
+        // [DHCP/ARP] phase" with DFS + automatic light sleep enabled.
+        dfs_wait_ma: 25.0,
+        // Receive current.
+        rx_ma: 100.0,
+        // Transmit at 0 dBm. Tuned so the Wi-LE TX window (ramp +
+        // preamble + MCS7 payload ≈ 131 µs) integrates to ≈84 µJ.
+        tx_ma_at_0dbm: 195.0,
+        // PA slope: ESP32 datasheet spans ~190 mA (0 dBm-ish OFDM) to
+        // ~240 mA at +20 dBm.
+        tx_ma_per_dbm: 2.5,
+        supply_v: SUPPLY_V,
+    }
+}
+
+/// Timing constants of the ESP32's wake/boot/radio sequences, calibrated
+/// against Figure 3 of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct Esp32Timing {
+    /// Deep-sleep wake → bootloader → app start (flash read), Fig. 3:
+    /// the ramp starting at t = 0.2 s.
+    pub boot_from_deep_sleep: Duration,
+    /// WiFi stack + RF calibration bring-up when preparing to *connect*
+    /// (client mode). Fig. 3a: init ends ≈0.85 s, so boot+init ≈ 650 ms.
+    pub wifi_init_station: Duration,
+    /// WiFi bring-up when only *injecting* (no station state machine,
+    /// no stored-config scan). Fig. 3b shows a visibly shorter init;
+    /// §5.2: "this step is shorter … because of a simpler initialization
+    /// phase for Wi-LE".
+    pub wifi_init_inject: Duration,
+    /// Radio PA/PLL ramp-up immediately before a transmission.
+    pub tx_ramp: Duration,
+    /// Returning to deep sleep (RTC domain handoff).
+    pub sleep_entry: Duration,
+}
+
+/// The calibrated ESP32 timings.
+pub fn esp32_timing() -> Esp32Timing {
+    Esp32Timing {
+        boot_from_deep_sleep: Duration::from_ms(350),
+        wifi_init_station: Duration::from_ms(300),
+        wifi_init_inject: Duration::from_ms(130),
+        tx_ramp: Duration::from_us(85),
+        sleep_entry: Duration::from_ms(5),
+    }
+}
+
+/// A hypothetical ASIC implementation of Wi-LE (§5.4: "an
+/// application-specific integrated circuit (ASIC) implementation will
+/// have much lower power consumption"): near-instant boot, lean active
+/// current, same radio.
+pub fn asic_timing() -> Esp32Timing {
+    Esp32Timing {
+        boot_from_deep_sleep: Duration::from_us(500),
+        wifi_init_station: Duration::from_us(500),
+        wifi_init_inject: Duration::from_us(200),
+        tx_ramp: Duration::from_us(40),
+        sleep_entry: Duration::from_us(100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerState;
+
+    #[test]
+    fn wile_tx_window_integrates_to_about_84_uj() {
+        // §5.4: "we consider only the time required to transmit the
+        // packet" at 72 Mbps / 0 dBm. TX window = ramp + airtime.
+        let m = esp32_current_model();
+        let t = esp32_timing();
+        // A representative Wi-LE beacon is ~120-130 bytes; at MCS7 SGI
+        // the airtime is ~46 µs (see wile-dot11 tests).
+        let window_us = t.tx_ramp.as_us() + 46;
+        let energy_uj = m.current_ma(PowerState::RadioTx { power_dbm: 0.0 })
+            * 1e-3
+            * SUPPLY_V
+            * window_us as f64;
+        assert!((energy_uj - 84.0).abs() < 8.0, "got {energy_uj:.1} µJ");
+    }
+
+    #[test]
+    fn fig3a_station_init_duration_matches_paper() {
+        let t = esp32_timing();
+        let total = t.boot_from_deep_sleep + t.wifi_init_station;
+        // Fig. 3a: init runs from 0.2 s to 0.85 s.
+        assert_eq!(total, Duration::from_ms(650));
+    }
+
+    #[test]
+    fn inject_init_is_shorter_than_station_init() {
+        let t = esp32_timing();
+        assert!(t.wifi_init_inject < t.wifi_init_station);
+    }
+
+    #[test]
+    fn asic_is_orders_of_magnitude_faster_to_boot() {
+        let esp = esp32_timing();
+        let asic = asic_timing();
+        assert!(asic.boot_from_deep_sleep.as_nanos() * 100 < esp.boot_from_deep_sleep.as_nanos());
+    }
+}

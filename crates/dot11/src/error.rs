@@ -1,0 +1,64 @@
+//! Error type shared by all parsers in this crate.
+
+use core::fmt;
+
+/// Errors returned by checked frame constructors and field accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The buffer is shorter than the fixed part of the structure.
+    Truncated,
+    /// A length field points past the end of the buffer.
+    BadLength,
+    /// The frame check sequence does not match the frame contents.
+    BadFcs,
+    /// The frame type/subtype does not match the wrapper used to parse it.
+    WrongType,
+    /// A field holds a value the standard does not define.
+    BadValue,
+    /// An information element is malformed.
+    BadElement,
+    /// The requested information element is not present in the frame.
+    MissingElement,
+    /// A builder was asked to emit something that cannot be represented
+    /// (e.g. an information element body longer than 255 bytes).
+    Unrepresentable,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::Truncated => "buffer truncated",
+            Error::BadLength => "length field exceeds buffer",
+            Error::BadFcs => "frame check sequence mismatch",
+            Error::WrongType => "frame type does not match wrapper",
+            Error::BadValue => "field value not defined by the standard",
+            Error::BadElement => "malformed information element",
+            Error::MissingElement => "information element not present",
+            Error::Unrepresentable => "value not representable on the wire",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Error::Truncated.to_string(), "buffer truncated");
+        assert_eq!(Error::BadFcs.to_string(), "frame check sequence mismatch");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::BadLength, Error::BadLength);
+        assert_ne!(Error::BadLength, Error::BadValue);
+    }
+}

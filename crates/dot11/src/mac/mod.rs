@@ -1,0 +1,9 @@
+//! MAC-layer primitives: addresses, frame control, headers.
+
+pub mod addr;
+pub mod frame_control;
+pub mod header;
+
+pub use addr::MacAddr;
+pub use frame_control::{CtrlSubtype, DataSubtype, FrameControl, FrameType, MgmtSubtype};
+pub use header::{MgmtHeader, SeqControl, MGMT_HEADER_LEN};

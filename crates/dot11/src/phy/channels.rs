@@ -1,0 +1,144 @@
+//! The WiFi channel plan, 2.4 GHz and 5 GHz.
+//!
+//! §1 of the paper lists among Wi-LE's advantages "enabling the use of
+//! the 5 GHz spectrum (allowing devices to avoid the increasingly
+//! crowded 2.4 GHz spectrum used by BLE)" — BLE cannot leave 2.4 GHz,
+//! Wi-LE inherits WiFi's whole plan. This module maps channel numbers
+//! to centre frequencies and answers overlap questions.
+
+/// Which band a channel lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// 2.4 GHz ISM (channels 1–14).
+    Ghz2_4,
+    /// 5 GHz U-NII (channels 36–165 in 20 MHz steps).
+    Ghz5,
+}
+
+/// Centre frequency in MHz of a WiFi channel, or `None` for numbers
+/// outside both plans.
+pub fn centre_freq_mhz(channel: u8) -> Option<u16> {
+    match channel {
+        1..=13 => Some(2412 + 5 * (channel as u16 - 1)),
+        14 => Some(2484), // Japan-only DSSS channel
+        36..=64 if channel.is_multiple_of(4) => Some(5000 + 5 * channel as u16),
+        100..=144 if channel.is_multiple_of(4) => Some(5000 + 5 * channel as u16),
+        149..=165 if (channel - 149).is_multiple_of(4) => Some(5000 + 5 * channel as u16),
+        _ => None,
+    }
+}
+
+/// The band of a channel, or `None` if the number is not allocated.
+pub fn band_of(channel: u8) -> Option<Band> {
+    centre_freq_mhz(channel).map(|f| if f < 3000 { Band::Ghz2_4 } else { Band::Ghz5 })
+}
+
+/// True when two 20 MHz channels overlap (their occupied spectra,
+/// ~16.6 MHz each, intersect). 5 GHz channels are spaced 20 MHz apart
+/// and never overlap; 2.4 GHz channels closer than 4 numbers do.
+pub fn channels_overlap(a: u8, b: u8) -> bool {
+    match (centre_freq_mhz(a), centre_freq_mhz(b)) {
+        (Some(fa), Some(fb)) => (fa as i32 - fb as i32).abs() < 17,
+        _ => false,
+    }
+}
+
+/// The classic non-overlapping 2.4 GHz trio.
+pub const NON_OVERLAPPING_2_4: [u8; 3] = [1, 6, 11];
+
+/// True when `channel` is free of BLE advertising interference —
+/// trivially true for all 5 GHz channels (the paper's argument), and
+/// checked against the three advertising channels in 2.4 GHz.
+pub fn clear_of_ble_advertising(channel: u8) -> bool {
+    match band_of(channel) {
+        Some(Band::Ghz5) => true,
+        Some(Band::Ghz2_4) => {
+            let f = centre_freq_mhz(channel).unwrap() as f64;
+            // BLE advertising at 2402/2426/2480 MHz, 2 MHz wide.
+            [2402.0, 2426.0, 2480.0]
+                .iter()
+                .all(|adv| (f - adv).abs() >= 9.3)
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_24ghz_frequencies() {
+        assert_eq!(centre_freq_mhz(1), Some(2412));
+        assert_eq!(centre_freq_mhz(6), Some(2437));
+        assert_eq!(centre_freq_mhz(11), Some(2462));
+        assert_eq!(centre_freq_mhz(14), Some(2484));
+    }
+
+    #[test]
+    fn unii_frequencies() {
+        assert_eq!(centre_freq_mhz(36), Some(5180));
+        assert_eq!(centre_freq_mhz(40), Some(5200));
+        assert_eq!(centre_freq_mhz(149), Some(5745));
+        assert_eq!(centre_freq_mhz(165), Some(5825));
+    }
+
+    #[test]
+    fn unallocated_numbers_rejected() {
+        for ch in [0u8, 15, 35, 37, 38, 39, 63, 148, 166, 200] {
+            assert_eq!(centre_freq_mhz(ch), None, "ch {ch}");
+        }
+    }
+
+    #[test]
+    fn band_classification() {
+        assert_eq!(band_of(6), Some(Band::Ghz2_4));
+        assert_eq!(band_of(36), Some(Band::Ghz5));
+        assert_eq!(band_of(0), None);
+    }
+
+    #[test]
+    fn the_classic_trio_does_not_overlap() {
+        for (i, &a) in NON_OVERLAPPING_2_4.iter().enumerate() {
+            for &b in &NON_OVERLAPPING_2_4[i + 1..] {
+                assert!(!channels_overlap(a, b), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_24ghz_channels_do_overlap() {
+        assert!(channels_overlap(1, 2));
+        assert!(channels_overlap(1, 3));
+        assert!(channels_overlap(6, 8));
+        assert!(!channels_overlap(1, 5));
+    }
+
+    #[test]
+    fn five_ghz_channels_never_overlap() {
+        assert!(!channels_overlap(36, 40));
+        assert!(!channels_overlap(149, 153));
+        // A channel trivially overlaps itself.
+        assert!(channels_overlap(36, 36));
+    }
+
+    #[test]
+    fn cross_band_never_overlaps() {
+        assert!(!channels_overlap(11, 36));
+    }
+
+    #[test]
+    fn papers_5ghz_argument() {
+        // Every 5 GHz channel is clear of BLE advertising…
+        for ch in [36u8, 40, 44, 100, 149, 165] {
+            assert!(clear_of_ble_advertising(ch), "ch {ch}");
+        }
+        // …and so are the classic trio (the adv channels dodge them),
+        // but channel 14 sits on 2484 MHz, 4 MHz from BLE 39.
+        for ch in NON_OVERLAPPING_2_4 {
+            assert!(clear_of_ble_advertising(ch), "ch {ch}");
+        }
+        assert!(!clear_of_ble_advertising(14));
+        assert!(!clear_of_ble_advertising(0)); // unallocated
+    }
+}

@@ -1,0 +1,136 @@
+//! Exporting traces for plotting: CSV, gnuplot-ready `.dat`, and a
+//! terminal ASCII renderer good enough to eyeball Figure 3 in a shell.
+
+use crate::multimeter::CurrentTrace;
+use std::fmt::Write as _;
+
+/// Render a trace as CSV with `time_s,current_ma` columns.
+pub fn to_csv(trace: &CurrentTrace) -> String {
+    let mut out = String::from("time_s,current_ma\n");
+    for (i, ma) in trace.samples_ma.iter().enumerate() {
+        let t = trace.time_of(i).as_secs_f64();
+        let _ = writeln!(out, "{t:.6},{ma:.4}");
+    }
+    out
+}
+
+/// Render `(x, y)` series as a gnuplot-style `.dat` block with a header
+/// comment — one file per curve of Figure 4.
+pub fn series_to_dat(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\n# x y\n");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:.6} {y:.9}");
+    }
+    out
+}
+
+/// ASCII-render a current trace: `width` columns, `height` rows, linear
+/// y axis from 0 to the trace peak. Mirrors the look of Figure 3.
+pub fn ascii_plot(trace: &CurrentTrace, width: usize, height: usize, title: &str) -> String {
+    assert!(width >= 10 && height >= 4);
+    let n = trace.samples_ma.len();
+    if n == 0 {
+        return format!("{title}\n(empty trace)\n");
+    }
+    // Bucket samples column-wise, keeping the max per bucket so spikes
+    // stay visible (a mean would hide the Tx needle).
+    let mut cols = vec![0.0f64; width];
+    for (i, &ma) in trace.samples_ma.iter().enumerate() {
+        let c = i * width / n;
+        if ma > cols[c] {
+            cols[c] = ma;
+        }
+    }
+    let peak = cols.iter().copied().fold(1e-9, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (peak {peak:.1} mA)");
+    for row in 0..height {
+        let level = peak * (height - row) as f64 / height as f64;
+        let axis = if row == 0 {
+            format!("{peak:>7.1} |")
+        } else if row == height - 1 {
+            format!("{:>7.1} |", peak / height as f64)
+        } else {
+            "        |".to_string()
+        };
+        out.push_str(&axis);
+        for &c in &cols {
+            out.push(if c >= level { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "        +{}", "-".repeat(width));
+    let dur = trace.duration().as_secs_f64();
+    let _ = writeln!(
+        out,
+        "         0{}{dur:.2} s",
+        " ".repeat(width.saturating_sub(8))
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wile_radio::time::{Duration, Instant};
+
+    fn ramp_trace() -> CurrentTrace {
+        CurrentTrace {
+            start: Instant::ZERO,
+            sample_interval: Duration::from_ms(1),
+            samples_ma: (0..100).map(|i| i as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = to_csv(&ramp_trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,current_ma");
+        assert_eq!(lines.len(), 101);
+        assert!(lines[1].starts_with("0.000000,0.0000"));
+        assert!(lines[100].starts_with("0.099000,99.0000"));
+    }
+
+    #[test]
+    fn dat_layout() {
+        let dat = series_to_dat("WiLE", &[(0.5, 1e-3), (1.0, 2e-3)]);
+        assert!(dat.starts_with("# WiLE\n"));
+        assert_eq!(dat.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_plot_shows_spike_column() {
+        let mut t = ramp_trace();
+        t.samples_ma = vec![0.0; 100];
+        t.samples_ma[50] = 200.0;
+        let plot = ascii_plot(&t, 50, 10, "spike");
+        // The spike column must contain a full-height bar of '#'.
+        let bar_rows = plot.lines().filter(|l| l.contains('#')).count();
+        assert_eq!(bar_rows, 10);
+    }
+
+    #[test]
+    fn ascii_plot_empty_trace() {
+        let t = CurrentTrace {
+            start: Instant::ZERO,
+            sample_interval: Duration::from_ms(1),
+            samples_ma: vec![],
+        };
+        assert!(ascii_plot(&t, 40, 8, "x").contains("empty"));
+    }
+
+    #[test]
+    fn ascii_plot_is_bounded() {
+        let plot = ascii_plot(&ramp_trace(), 40, 8, "ramp");
+        for line in plot.lines() {
+            assert!(line.len() <= 60, "{line}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_plot_rejected() {
+        ascii_plot(&ramp_trace(), 2, 2, "no");
+    }
+}

@@ -1,0 +1,24 @@
+//! # wile-instrument — the simulated bench multimeter
+//!
+//! The paper measures everything with a Keysight 34465A in series with
+//! the 3.3 V supply, "capable of taking 50,000 samples per second"
+//! (§5.1, Figure 2). This crate reproduces that measurement path:
+//!
+//! * [`multimeter`] — sample a device's state trace into a current
+//!   waveform at a configurable rate;
+//! * [`energy`] — integrate current (exactly from spans, or numerically
+//!   from samples) into charge and energy, including per-phase splits;
+//! * [`export`] — CSV / gnuplot-style data files and a terminal ASCII
+//!   renderer used by the examples to redraw Figure 3;
+//! * [`stats`] — RMS, percentiles, duty cycle, crest factor.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod energy;
+pub mod export;
+pub mod multimeter;
+pub mod stats;
+
+pub use energy::{energy_mj, EnergyReport, PhaseEnergy};
+pub use multimeter::{CurrentTrace, Multimeter};

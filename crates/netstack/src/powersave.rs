@@ -1,0 +1,102 @@
+//! 802.11 power-save client logic: which beacons to wake for, and what
+//! one wake costs.
+//!
+//! §3.2 of the paper describes the mechanism; the WiFi-PS scenario
+//! (§5.3) configures it aggressively: "the WiFi chip wakes up only for
+//! every third beacon frame".
+
+use wile_dot11::ie::Tim;
+use wile_radio::time::{Duration, Instant};
+
+/// Client-side power-save schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct PsSchedule {
+    /// AP beacon interval.
+    pub beacon_interval: Duration,
+    /// Wake for every `listen_every`-th beacon (the paper uses 3).
+    pub listen_every: u32,
+}
+
+impl PsSchedule {
+    /// The paper's WiFi-PS configuration: 102.4 ms beacons, every third.
+    pub fn paper_default() -> Self {
+        PsSchedule {
+            beacon_interval: Duration::from_us(102_400),
+            listen_every: 3,
+        }
+    }
+
+    /// The time of the `n`-th beacon the client will wake for, starting
+    /// from `t0` (the first beacon after association).
+    pub fn nth_wake(&self, t0: Instant, n: u64) -> Instant {
+        t0 + Duration::from_nanos(self.beacon_interval.as_nanos() * self.listen_every as u64 * n)
+    }
+
+    /// How many wakes happen in an interval of length `d`.
+    pub fn wakes_in(&self, d: Duration) -> u64 {
+        d.as_nanos() / (self.beacon_interval.as_nanos() * self.listen_every as u64)
+    }
+
+    /// Fraction of beacons skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        1.0 - 1.0 / self.listen_every as f64
+    }
+}
+
+/// Decision after reading a beacon's TIM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeAction {
+    /// Nothing buffered: return to sleep immediately.
+    BackToSleep,
+    /// Traffic waiting: send PS-Poll and stay awake to receive.
+    PollForTraffic,
+}
+
+/// What a power-saving client does upon receiving a beacon.
+pub fn on_beacon(tim: &Tim, my_aid: u16) -> WakeAction {
+    if tim.traffic_for(my_aid) {
+        WakeAction::PollForTraffic
+    } else {
+        WakeAction::BackToSleep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_wakes_every_307ms() {
+        let s = PsSchedule::paper_default();
+        let t0 = Instant::ZERO;
+        assert_eq!(s.nth_wake(t0, 1).since(t0), Duration::from_us(307_200));
+        assert!((s.skip_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wakes_per_ten_minutes() {
+        let s = PsSchedule::paper_default();
+        // 600 s / 0.3072 s ≈ 1953 wakes between two sensor transmissions.
+        let w = s.wakes_in(Duration::from_secs(600));
+        assert_eq!(w, 1953);
+    }
+
+    #[test]
+    fn tim_drives_wake_action() {
+        let mut tim = Tim::empty(0, 3);
+        assert_eq!(on_beacon(&tim, 5), WakeAction::BackToSleep);
+        tim.set_traffic_for(5);
+        assert_eq!(on_beacon(&tim, 5), WakeAction::PollForTraffic);
+        assert_eq!(on_beacon(&tim, 6), WakeAction::BackToSleep);
+    }
+
+    #[test]
+    fn listen_every_one_means_no_skipping() {
+        let s = PsSchedule {
+            beacon_interval: Duration::from_ms(100),
+            listen_every: 1,
+        };
+        assert_eq!(s.skip_fraction(), 0.0);
+        assert_eq!(s.nth_wake(Instant::ZERO, 2), Instant::from_ms(200));
+    }
+}

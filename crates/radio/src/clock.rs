@@ -1,0 +1,175 @@
+//! Per-device oscillators with frequency error (ppm) and white timer
+//! jitter.
+//!
+//! §6 of the paper argues that two Wi-LE devices transmitting with the
+//! same nominal period will not collide forever because "their
+//! transmissions will automatically differ away from each other due to
+//! the jitter of their clocks". [`DriftClock`] models exactly that: a
+//! crystal with a fixed ppm error plus bounded white jitter on each
+//! scheduled wakeup, so nominal-equal periods drift apart at
+//! `ppm_delta × period` per cycle.
+
+use crate::time::{Duration, Instant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A device-local clock that converts nominal (local) durations into
+/// true simulation durations.
+#[derive(Debug, Clone)]
+pub struct DriftClock {
+    /// Fixed fractional frequency error, parts per million. Positive runs
+    /// fast (true durations shorter than nominal).
+    ppm: f64,
+    /// Uniform white jitter bound applied per conversion, ± this many
+    /// nanoseconds.
+    jitter_ns: u64,
+    rng: StdRng,
+}
+
+impl DriftClock {
+    /// An ideal clock (no drift, no jitter).
+    pub fn ideal() -> Self {
+        DriftClock {
+            ppm: 0.0,
+            jitter_ns: 0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// A clock with the given ppm error and per-wakeup jitter, seeded for
+    /// reproducibility.
+    pub fn new(ppm: f64, jitter: Duration, seed: u64) -> Self {
+        DriftClock {
+            ppm,
+            jitter_ns: jitter.as_nanos(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A typical IoT-grade crystal: ±20 ppm error drawn from the seed,
+    /// ±100 µs timer wakeup jitter.
+    pub fn iot_grade(seed: u64) -> Self {
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let ppm = seeder.gen_range(-20.0..20.0);
+        DriftClock {
+            ppm,
+            jitter_ns: 100_000,
+            rng: seeder,
+        }
+    }
+
+    /// The fixed frequency error, ppm.
+    pub fn ppm(&self) -> f64 {
+        self.ppm
+    }
+
+    /// Convert a nominal local duration to the true duration that
+    /// elapses, applying drift and fresh jitter.
+    pub fn true_duration(&mut self, nominal: Duration) -> Duration {
+        let scaled = nominal.as_nanos() as f64 * (1.0 - self.ppm * 1e-6);
+        let jitter = if self.jitter_ns == 0 {
+            0.0
+        } else {
+            self.rng
+                .gen_range(-(self.jitter_ns as f64)..=self.jitter_ns as f64)
+        };
+        Duration::from_nanos((scaled + jitter).max(0.0).round() as u64)
+    }
+
+    /// The instant after sleeping `nominal` starting at `from`.
+    pub fn wake_after(&mut self, from: Instant, nominal: Duration) -> Instant {
+        from + self.true_duration(nominal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_clock_is_exact() {
+        let mut c = DriftClock::ideal();
+        assert_eq!(
+            c.true_duration(Duration::from_secs(600)),
+            Duration::from_secs(600)
+        );
+    }
+
+    #[test]
+    fn positive_ppm_runs_fast() {
+        let mut c = DriftClock::new(20.0, Duration::ZERO, 1);
+        let d = c.true_duration(Duration::from_secs(1_000));
+        // 20 ppm of 1000 s = 20 ms early.
+        assert_eq!(d, Duration::from_nanos(1_000_000_000_000 - 20_000_000));
+    }
+
+    #[test]
+    fn negative_ppm_runs_slow() {
+        let mut c = DriftClock::new(-20.0, Duration::ZERO, 1);
+        let d = c.true_duration(Duration::from_secs(1_000));
+        assert!(d > Duration::from_secs(1_000));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varying() {
+        let mut c = DriftClock::new(0.0, Duration::from_us(100), 7);
+        let nominal = Duration::from_ms(100);
+        let mut seen_different = false;
+        let mut prev = None;
+        for _ in 0..100 {
+            let d = c.true_duration(nominal);
+            let err = (d.as_nanos() as i64 - nominal.as_nanos() as i64).abs();
+            assert!(err <= 100_000, "err {err}");
+            if prev.is_some() && prev != Some(d) {
+                seen_different = true;
+            }
+            prev = Some(d);
+        }
+        assert!(seen_different);
+    }
+
+    #[test]
+    fn seeded_clocks_reproduce() {
+        let mut a = DriftClock::iot_grade(42);
+        let mut b = DriftClock::iot_grade(42);
+        for _ in 0..10 {
+            assert_eq!(
+                a.true_duration(Duration::from_secs(1)),
+                b.true_duration(Duration::from_secs(1))
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_ppm() {
+        let a = DriftClock::iot_grade(1);
+        let b = DriftClock::iot_grade(2);
+        assert_ne!(a.ppm(), b.ppm());
+        assert!(a.ppm().abs() < 20.0);
+    }
+
+    #[test]
+    fn equal_periods_drift_apart() {
+        // The §6 claim: two devices, same nominal period, different
+        // crystals -- their transmit instants separate over time.
+        let mut a = DriftClock::new(10.0, Duration::ZERO, 1);
+        let mut b = DriftClock::new(-10.0, Duration::ZERO, 2);
+        let period = Duration::from_secs(600);
+        let mut ta = Instant::ZERO;
+        let mut tb = Instant::ZERO;
+        for _ in 0..10 {
+            ta = a.wake_after(ta, period);
+            tb = b.wake_after(tb, period);
+        }
+        // 20 ppm relative over 6000 s = 120 ms separation.
+        let sep = tb.since(ta);
+        assert_eq!(sep, Duration::from_ms(120));
+    }
+
+    #[test]
+    fn wake_never_goes_backwards() {
+        let mut c = DriftClock::new(500_000.0, Duration::from_ms(1), 3);
+        let t = c.wake_after(Instant::from_ms(5), Duration::from_nanos(10));
+        assert!(t >= Instant::from_ms(5));
+    }
+}

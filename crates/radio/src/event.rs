@@ -1,0 +1,183 @@
+//! A minimal, stable discrete-event scheduler.
+//!
+//! Events are `(Instant, T)` pairs popped in time order; ties break by
+//! insertion order so runs are reproducible regardless of payload type.
+
+use crate::time::Instant;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    at: Instant,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (at, seq).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of scheduled events carrying payloads of type `T`.
+///
+/// ```
+/// use wile_radio::{EventQueue, Instant};
+/// let mut q = EventQueue::new();
+/// q.schedule(Instant::from_ms(20), "b");
+/// q.schedule(Instant::from_ms(10), "a");
+/// q.schedule(Instant::from_ms(20), "c");
+/// assert_eq!(q.pop(), Some((Instant::from_ms(10), "a")));
+/// assert_eq!(q.pop(), Some((Instant::from_ms(20), "b"))); // FIFO on ties
+/// assert_eq!(q.pop(), Some((Instant::from_ms(20), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`. Scheduling in the past (before
+    /// the last popped event) is allowed but will fire "immediately" in
+    /// pop order; callers that care should assert monotonicity themselves.
+    pub fn schedule(&mut self, at: Instant, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pop the earliest event, advancing the queue's notion of "now".
+    pub fn pop(&mut self) -> Option<(Instant, T)> {
+        self.heap.pop().map(|e| {
+            self.now = self.now.max(e.at);
+            (e.at, e.payload)
+        })
+    }
+
+    /// The timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The time of the most recently popped event (simulation "now").
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain events up to and including `deadline`, in order.
+    pub fn drain_until(&mut self, deadline: Instant) -> Vec<(Instant, T)> {
+        let mut out = Vec::new();
+        while matches!(self.peek_time(), Some(t) if t <= deadline) {
+            out.push(self.pop().unwrap());
+        }
+        out
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for ms in [5u64, 1, 9, 3] {
+            q.schedule(Instant::from_ms(ms), ms);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, [1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_ms(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_ms(4), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_ms(4));
+    }
+
+    #[test]
+    fn drain_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        for ms in 1..=10u64 {
+            q.schedule(Instant::from_ms(ms), ms);
+        }
+        let first = q.drain_until(Instant::from_ms(5));
+        assert_eq!(first.len(), 5);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.peek_time(), Some(Instant::from_ms(6)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_ms(10), "first");
+        let (t, _) = q.pop().unwrap();
+        // Self-rescheduling pattern used by periodic transmitters.
+        q.schedule(t + Duration::from_ms(10), "second");
+        assert_eq!(q.pop().unwrap().0, Instant::from_ms(20));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

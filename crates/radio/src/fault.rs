@@ -1,0 +1,142 @@
+//! Fault injection, after smoltcp's example: random frame drops and
+//! single-octet corruption, applied between the medium and a receiver.
+//!
+//! Corrupted frames keep their (now wrong) FCS, so receivers exercising
+//! `wile_dot11::fcs::check_fcs` discard them exactly as hardware would.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the injector decided to do with one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Frame passes unmodified.
+    Pass,
+    /// Frame silently dropped.
+    Dropped,
+    /// One octet was flipped.
+    Corrupted,
+}
+
+/// Random drop / corrupt injector with deterministic seeding.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability in `[0,1]` that a frame is dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0,1]` that one octet of a surviving frame is
+    /// XOR-flipped.
+    pub corrupt_chance: f64,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// An injector that never interferes.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// An injector with the given probabilities and seed.
+    pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance) && (0.0..=1.0).contains(&corrupt_chance));
+        FaultInjector {
+            drop_chance,
+            corrupt_chance,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Apply faults to `frame` in place; returns what happened.
+    pub fn apply(&mut self, frame: &mut [u8]) -> FaultOutcome {
+        if self.drop_chance > 0.0 && self.rng.gen_bool(self.drop_chance) {
+            return FaultOutcome::Dropped;
+        }
+        if self.corrupt_chance > 0.0 && !frame.is_empty() && self.rng.gen_bool(self.corrupt_chance)
+        {
+            let idx = self.rng.gen_range(0..frame.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            frame[idx] ^= bit;
+            return FaultOutcome::Corrupted;
+        }
+        FaultOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_passes_everything() {
+        let mut inj = FaultInjector::none();
+        for _ in 0..1000 {
+            let mut f = vec![1, 2, 3];
+            assert_eq!(inj.apply(&mut f), FaultOutcome::Pass);
+            assert_eq!(f, [1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn always_drop() {
+        let mut inj = FaultInjector::new(1.0, 0.0, 1);
+        let mut f = vec![1];
+        assert_eq!(inj.apply(&mut f), FaultOutcome::Dropped);
+    }
+
+    #[test]
+    fn always_corrupt_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(0.0, 1.0, 2);
+        let orig = vec![0u8; 64];
+        for _ in 0..100 {
+            let mut f = orig.clone();
+            assert_eq!(inj.apply(&mut f), FaultOutcome::Corrupted);
+            let flipped: u32 = f.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+            assert_eq!(flipped, 1);
+        }
+    }
+
+    #[test]
+    fn statistics_roughly_match_probability() {
+        let mut inj = FaultInjector::new(0.3, 0.0, 3);
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            let mut f = vec![0u8];
+            if inj.apply(&mut f) == FaultOutcome::Dropped {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn corrupting_empty_frame_is_safe() {
+        let mut inj = FaultInjector::new(0.0, 1.0, 4);
+        let mut f = Vec::new();
+        assert_eq!(inj.apply(&mut f), FaultOutcome::Pass);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(0.5, 0.5, seed);
+            (0..100)
+                .map(|_| {
+                    let mut f = vec![0u8; 16];
+                    inj.apply(&mut f)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_rejected() {
+        FaultInjector::new(1.5, 0.0, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # wile-radio — deterministic discrete-event wireless medium
+//!
+//! The substitute for the paper's physical testbed air interface: a
+//! single-threaded, fully deterministic simulator in the spirit of
+//! smoltcp (event-driven, no async runtime, explicit state).
+//!
+//! * [`time`] — virtual [`time::Instant`]/[`time::Duration`] in integer
+//!   nanoseconds; nothing in the workspace reads the wall clock.
+//! * [`event`] — a stable binary-heap event scheduler for multi-device
+//!   scenarios (the §6 "network of IoT devices" study).
+//! * [`channel`] — log-distance path loss, noise floor, SNR.
+//! * [`per`] — SNR → packet error rate per modulation family.
+//! * [`clock`] — per-device oscillators with ppm drift and white jitter;
+//!   the paper's §6 argument that same-period transmitters "automatically
+//!   differ away from each other due to the jitter of their clocks" is
+//!   exercised through these.
+//! * [`medium`] — the broadcast medium: transmissions, propagation,
+//!   collisions with capture, per-receiver delivery.
+//! * [`fault`] — smoltcp-style fault injection (random drop/corrupt).
+//! * [`pcap`] — dump everything the medium carried to a libpcap file
+//!   (LINKTYPE_IEEE802_11) for inspection in Wireshark.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod channel;
+pub mod clock;
+pub mod event;
+pub mod fault;
+pub mod medium;
+pub mod pcap;
+pub mod per;
+pub mod time;
+
+pub use channel::ChannelModel;
+pub use clock::DriftClock;
+pub use event::EventQueue;
+pub use fault::FaultInjector;
+pub use medium::{Medium, RadioConfig, RadioId, RxFrame};
+pub use time::{Duration, Instant};

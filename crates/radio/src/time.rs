@@ -1,0 +1,276 @@
+//! Virtual time: integer nanoseconds since simulation start.
+//!
+//! Wall-clock time never enters the simulation; every timestamp is one of
+//! these. Nanosecond resolution keeps sub-microsecond PHY timings (0.4 µs
+//! guard intervals) exact while `u64` still spans ~584 years.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A span of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// From nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest nanosecond;
+    /// negative values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_ms(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale by an integer factor.
+    pub const fn mul(self, k: u64) -> Duration {
+        Duration(self.0 * k)
+    }
+
+    /// Scale by a float factor (rounds; negative clamps to zero).
+    pub fn mul_f64(self, k: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3} s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3} µs", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns} ns")
+        }
+    }
+}
+
+/// A point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// Simulation start.
+    pub const ZERO: Instant = Instant(0);
+
+    /// From nanoseconds since start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Instant(ns)
+    }
+
+    /// From microseconds since start.
+    pub const fn from_us(us: u64) -> Self {
+        Instant(us * 1_000)
+    }
+
+    /// From milliseconds since start.
+    pub const fn from_ms(ms: u64) -> Self {
+        Instant(ms * 1_000_000)
+    }
+
+    /// From whole seconds since start.
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds since start.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Instant((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds since start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since start (truncating).
+    pub const fn as_us(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds since start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier` (zero if `earlier` is later).
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        Instant(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl core::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Duration::from_ms(3).as_us(), 3_000);
+        assert_eq!(Duration::from_us(5).as_nanos(), 5_000);
+        assert_eq!(Instant::from_secs(1).as_us(), 1_000_000);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let d = Duration::from_secs_f64(1.5);
+        assert_eq!(d.as_ms(), 1_500);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        // Negative clamps.
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Instant::from_ms(10) + Duration::from_ms(5);
+        assert_eq!(t, Instant::from_ms(15));
+        assert_eq!(t.since(Instant::from_ms(10)), Duration::from_ms(5));
+        // since() saturates.
+        assert_eq!(
+            Instant::from_ms(1).since(Instant::from_ms(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn duration_saturating() {
+        assert_eq!(
+            Duration::from_ms(1).saturating_sub(Duration::from_ms(2)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Duration::from_ms(5) - Duration::from_ms(2),
+            Duration::from_ms(3)
+        );
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(Duration::from_nanos(12).to_string(), "12 ns");
+        assert_eq!(Duration::from_us(12).to_string(), "12.000 µs");
+        assert_eq!(Duration::from_ms(12).to_string(), "12.000 ms");
+        assert_eq!(Duration::from_secs(12).to_string(), "12.000 s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&m| Duration::from_ms(m)).sum();
+        assert_eq!(total, Duration::from_ms(6));
+    }
+
+    #[test]
+    fn mul_scaling() {
+        assert_eq!(Duration::from_us(10).mul(3), Duration::from_us(30));
+        assert_eq!(Duration::from_secs(1).mul_f64(0.25), Duration::from_ms(250));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use wile_radio::channel::ChannelModel;
+use wile_radio::clock::DriftClock;
+use wile_radio::medium::{Medium, RadioConfig, TxParams};
+use wile_radio::per::packet_error_rate;
+use wile_radio::time::{Duration, Instant};
+use wile_radio::EventQueue;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &ms) in times.iter().enumerate() {
+            q.schedule(Instant::from_ms(ms), i);
+        }
+        let mut out = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            out.push((t, i));
+        }
+        prop_assert_eq!(out.len(), times.len());
+        // Sorted by time, ties by insertion order.
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let da = Duration::from_nanos(a);
+        let db = Duration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        let t = Instant::from_nanos(a) + db;
+        prop_assert_eq!(t.since(Instant::from_nanos(a)), db);
+    }
+
+    #[test]
+    fn per_is_probability_and_monotone(
+        snr in -40.0f64..60.0,
+        min_snr in 0.0f64..30.0,
+        len in 1usize..2304,
+    ) {
+        let p = packet_error_rate(snr, min_snr, len);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p_better = packet_error_rate(snr + 5.0, min_snr, len);
+        prop_assert!(p_better <= p);
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance(d1 in 0.1f64..1000.0, d2 in 0.1f64..1000.0) {
+        prop_assume!(d1 < d2);
+        let c = ChannelModel::default();
+        prop_assert!(c.path_loss_db(d1) <= c.path_loss_db(d2));
+        prop_assert!(c.snr_db(0.0, d1) >= c.snr_db(0.0, d2));
+    }
+
+    #[test]
+    fn clock_drift_bounded(ppm in -100.0f64..100.0, secs in 1u64..100_000, seed in any::<u64>()) {
+        let mut c = DriftClock::new(ppm, Duration::ZERO, seed);
+        let nominal = Duration::from_secs(secs);
+        let actual = c.true_duration(nominal);
+        let err = (actual.as_nanos() as i128 - nominal.as_nanos() as i128).abs() as f64;
+        let bound = nominal.as_nanos() as f64 * (ppm.abs() * 1e-6) + 2.0;
+        prop_assert!(err <= bound, "err {err} bound {bound}");
+    }
+
+    #[test]
+    fn medium_delivery_deterministic_per_seed(
+        seed in any::<u64>(),
+        dist in 1.0f64..80.0,
+        n in 1usize..30,
+    ) {
+        let run = || {
+            let mut m = Medium::new(ChannelModel::default(), seed);
+            let a = m.attach(RadioConfig::default());
+            let b = m.attach(RadioConfig { position_m: (dist, 0.0), ..Default::default() });
+            let mut t = Instant::ZERO;
+            for i in 0..n {
+                t = m.transmit(
+                    a,
+                    t + Duration::from_ms(1),
+                    TxParams { airtime: Duration::from_us(100), power_dbm: 0.0, min_snr_db: 15.0 },
+                    vec![i as u8; 100],
+                );
+            }
+            m.take_inbox(b, t + Duration::from_secs(1))
+                .iter()
+                .map(|f| f.bytes[0])
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn delivered_frames_arrive_in_order_and_intact(
+        dist in 0.5f64..5.0,
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..64), 1..20),
+    ) {
+        // Close range: everything must arrive, in order, bit-exact.
+        let mut m = Medium::new(ChannelModel::default(), 9);
+        let a = m.attach(RadioConfig::default());
+        let b = m.attach(RadioConfig { position_m: (dist, 0.0), ..Default::default() });
+        let mut t = Instant::ZERO;
+        for p in &payloads {
+            t = m.transmit(
+                a,
+                t + Duration::from_ms(1),
+                TxParams { airtime: Duration::from_us(50), power_dbm: 0.0, min_snr_db: 5.0 },
+                p.clone(),
+            );
+        }
+        let got = m.take_inbox(b, t + Duration::from_secs(1));
+        prop_assert_eq!(got.len(), payloads.len());
+        for (rx, p) in got.iter().zip(&payloads) {
+            prop_assert_eq!(&rx.bytes, p);
+        }
+        for w in got.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn inbox_cursor_never_duplicates(
+        n in 1usize..20,
+        poll_points in prop::collection::vec(0u64..40, 1..10),
+    ) {
+        let mut m = Medium::new(ChannelModel::default(), 4);
+        let a = m.attach(RadioConfig::default());
+        let b = m.attach(RadioConfig { position_m: (1.0, 0.0), ..Default::default() });
+        let mut t = Instant::ZERO;
+        for i in 0..n {
+            t = m.transmit(
+                a,
+                t + Duration::from_ms(1),
+                TxParams { airtime: Duration::from_us(50), power_dbm: 0.0, min_snr_db: 5.0 },
+                vec![i as u8],
+            );
+        }
+        let mut polls: Vec<u64> = poll_points;
+        polls.sort_unstable();
+        let mut total = 0;
+        for ms in polls {
+            total += m.take_inbox(b, Instant::from_ms(ms)).len();
+        }
+        total += m.take_inbox(b, t + Duration::from_secs(1)).len();
+        prop_assert_eq!(total, n);
+    }
+}

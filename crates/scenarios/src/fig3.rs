@@ -1,0 +1,167 @@
+//! Figure 3: "The current consumed by WiFi and Wi-LE for transmitting
+//! a frame" — two annotated current-versus-time traces sampled at the
+//! multimeter's 50 kS/s.
+
+use crate::{wifi_dc, wile_sc};
+use wile_device::trace::Phase;
+use wile_instrument::{CurrentTrace, Multimeter};
+use wile_netstack::connect::ConnectConfig;
+use wile_radio::time::{Duration, Instant};
+
+/// One reproduced figure panel: the sampled waveform plus the paper's
+/// phase annotations.
+#[derive(Debug)]
+pub struct Fig3Panel {
+    /// Panel caption ("WiFi" / "Wi-LE").
+    pub title: &'static str,
+    /// The 50 kS/s current waveform.
+    pub trace: CurrentTrace,
+    /// Phase annotations.
+    pub phases: Vec<Phase>,
+}
+
+impl Fig3Panel {
+    /// Duration of the phase labelled `label`, seconds, if present.
+    pub fn phase_duration_s(&self, label: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.end.since(p.start).as_secs_f64())
+    }
+}
+
+/// Reproduce Figure 3a: the WiFi-DC connect-and-transmit waveform over
+/// the paper's 2-second x-axis.
+pub fn fig3a() -> Fig3Panel {
+    let run = wifi_dc::run(&ConnectConfig::default());
+    let mm = Multimeter::keysight_34465a();
+    let trace = mm.sample(
+        &run.outcome.trace,
+        &run.model,
+        Instant::ZERO,
+        Instant::from_secs(2),
+    );
+    Fig3Panel {
+        title: "WiFi",
+        trace,
+        phases: run.outcome.trace.phases().to_vec(),
+    }
+}
+
+/// Reproduce Figure 3b: the Wi-LE injection waveform over the same
+/// 2-second x-axis.
+pub fn fig3b() -> Fig3Panel {
+    let mut run = wile_sc::run(1, b"t=21.5C", 600);
+    let model = run.injector.model();
+    // Extend the trailing sleep so the 2 s window is fully defined.
+    run.injector.sleep_until(Instant::from_secs(3));
+    let mm = Multimeter::keysight_34465a();
+    let trace = mm.sample(
+        run.injector.trace(),
+        &model,
+        Instant::ZERO,
+        Instant::from_secs(2),
+    );
+    Fig3Panel {
+        title: "Wi-LE",
+        trace,
+        phases: run.injector.trace().phases().to_vec(),
+    }
+}
+
+/// The figure-level claim of §5.2: Wi-LE's active window is far shorter
+/// than WiFi's. Returns (wifi_active_s, wile_active_s).
+pub fn active_durations() -> (f64, f64) {
+    let dc = wifi_dc::run(&ConnectConfig::default());
+    let (f, t) = dc.outcome.active_window();
+    let wifi = t.since(f).as_secs_f64();
+    let wl = wile_sc::run(1, b"t=21.5C", 600);
+    let (f, t) = wl.reports[0].active_window();
+    (wifi, t.since(f).as_secs_f64())
+}
+
+/// Helper for the figure renderer: downsample a 50 kS/s panel to a
+/// plot-friendly resolution without losing the TX spike.
+pub fn plot_trace(panel: &Fig3Panel, columns: usize) -> CurrentTrace {
+    let factor = (panel.trace.samples_ma.len() / columns).max(1);
+    // Max-preserving downsample: keep spikes visible like the paper's
+    // plotted samples do.
+    let samples_ma: Vec<f64> = panel
+        .trace
+        .samples_ma
+        .chunks(factor)
+        .map(|c| c.iter().copied().fold(0.0, f64::max))
+        .collect();
+    CurrentTrace {
+        start: panel.trace.start,
+        sample_interval: Duration::from_nanos(
+            panel.trace.sample_interval.as_nanos() * factor as u64,
+        ),
+        samples_ma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_has_paper_phase_structure() {
+        let p = fig3a();
+        // The paper's legend, in order.
+        for label in [
+            "Sleep",
+            "MC/WiFi init",
+            "Probe/Auth./Associate",
+            "DHCP/ARP",
+            "Tx",
+        ] {
+            assert!(p.phase_duration_s(label).is_some(), "{label} missing");
+        }
+        // Init phase 0.2→0.85 s.
+        assert!((p.phase_duration_s("MC/WiFi init").unwrap() - 0.65).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig3a_waveform_shape() {
+        let p = fig3a();
+        // Y-axis: the paper plots 0-250 mA; our peak is the TX current.
+        assert!(p.trace.peak_ma() > 150.0 && p.trace.peak_ma() <= 250.0);
+        // Sleep at the start: first samples near zero.
+        assert!(p.trace.samples_ma[10] < 0.01);
+        // Init phase plateau: sample mid-init (t = 0.5 s → idx 25000).
+        let mid_init = p.trace.samples_ma[25_000];
+        assert!((30.0..=100.0).contains(&mid_init), "{mid_init}");
+        // DHCP phase baseline 20-30 mA: sample t = 1.3 s.
+        let dhcp = p.trace.samples_ma[65_000];
+        assert!((20.0..=30.0).contains(&dhcp), "{dhcp}");
+    }
+
+    #[test]
+    fn fig3b_waveform_shape() {
+        let p = fig3b();
+        // Mostly sleep, one short active burst.
+        let active_samples = p.trace.samples_ma.iter().filter(|&&ma| ma > 1.0).count();
+        let frac = active_samples as f64 / p.trace.samples_ma.len() as f64;
+        // ~0.48 s active in 2 s.
+        assert!((0.2..=0.3).contains(&frac), "active fraction {frac}");
+        assert!(p.trace.peak_ma() > 150.0);
+    }
+
+    #[test]
+    fn wile_active_window_is_much_shorter() {
+        let (wifi, wile) = active_durations();
+        // §5.2: "Wi-LE significantly reduces the total time … required
+        // to transmit a packet."
+        assert!(wifi > 2.0 * wile, "wifi {wifi} vs wile {wile}");
+        assert!(wile < 0.6, "{wile}");
+    }
+
+    #[test]
+    fn plot_downsampling_keeps_the_spike() {
+        let p = fig3b();
+        let plot = plot_trace(&p, 120);
+        assert!(plot.samples_ma.len() <= 121);
+        assert!((plot.peak_ma() - p.trace.peak_ma()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # wile-scenarios — the paper's evaluation, end to end
+//!
+//! One module per §5.3 scenario and one per artifact:
+//!
+//! * [`scenario`] — the common result type (energy/packet, idle
+//!   current, TX window) every scenario produces;
+//! * [`wifi_dc`] — WiFi Duty Cycle: deep sleep, re-associate, transmit
+//!   (drives `wile-netstack`'s full connection);
+//! * [`wifi_ps`] — WiFi Power Saving: stay associated, aggressive
+//!   power-save idle, transmit without re-association;
+//! * [`ble`] — the CC2541 reference (per-phase model + real PDUs);
+//! * [`wile_sc`] — Wi-LE injection;
+//! * [`mod@table1`] — assembles Table 1 from the four scenarios;
+//! * [`fig3`] — the current-versus-time traces of Figures 3a/3b;
+//! * [`fig4`] — the average-power-versus-interval sweep of Figure 4
+//!   (Equation 1), with crossover analysis;
+//! * [`ablation`] — design-space sweeps DESIGN.md calls out (bitrate,
+//!   payload size, init time / ASIC, clock-drift ppm);
+//! * [`report`] — paper-style text rendering of all of the above.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ablation;
+pub mod ble;
+pub mod fig3;
+pub mod fig4;
+pub mod report;
+pub mod scenario;
+pub mod table1;
+pub mod wifi_dc;
+pub mod wifi_ps;
+pub mod wile_sc;
+
+pub use scenario::ScenarioResult;
+pub use table1::{table1, Table1};

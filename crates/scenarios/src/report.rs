@@ -1,0 +1,167 @@
+//! Paper-style text rendering of the reproduced artifacts.
+
+use crate::fig3::{plot_trace, Fig3Panel};
+use crate::fig4::Fig4;
+use crate::table1::{Table1, PAPER_VALUES};
+use std::fmt::Write as _;
+use wile_instrument::export::ascii_plot;
+
+fn format_energy(mj: f64) -> String {
+    if mj < 1.0 {
+        format!("{:.0} µJ", mj * 1000.0)
+    } else {
+        format!("{mj:.1} mJ")
+    }
+}
+
+fn format_current(ma: f64) -> String {
+    format!("{:.1} µA", ma * 1000.0)
+}
+
+/// Render Table 1 next to the paper's published values.
+pub fn render_table1(t: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: Energy required to transmit a message and idle current\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>14} {:>14} {:>14} {:>14}",
+        "", "Wi-LE", "BLE", "WiFi-DC", "WiFi-PS"
+    );
+    let cols = t.columns();
+    let _ = write!(out, "{:<16}", "Energy/packet");
+    for c in cols {
+        let _ = write!(out, " {:>14}", format_energy(c.energy_per_packet_mj));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<16}", "  (paper)");
+    for (_, mj, _) in PAPER_VALUES {
+        let _ = write!(out, " {:>14}", format_energy(mj));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<16}", "Idle current");
+    for c in cols {
+        let _ = write!(out, " {:>14}", format_current(c.idle_current_ma));
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "{:<16}", "  (paper)");
+    for (_, _, ma) in PAPER_VALUES {
+        let _ = write!(out, " {:>14}", format_current(ma));
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Render one Figure 3 panel as an ASCII waveform with its phase list.
+pub fn render_fig3(panel: &Fig3Panel, width: usize, height: usize) -> String {
+    let plot = plot_trace(panel, width);
+    let mut out = ascii_plot(&plot, width, height, &format!("Figure 3 ({})", panel.title));
+    let _ = writeln!(out, "phases:");
+    for p in &panel.phases {
+        let _ = writeln!(
+            out,
+            "  {:<24} {:.3} s – {:.3} s",
+            p.label,
+            p.start.as_secs_f64(),
+            p.end.as_secs_f64()
+        );
+    }
+    out
+}
+
+/// Render Figure 4 as a log-scale ASCII chart plus the series tables.
+pub fn render_fig4(f: &Fig4, width: usize, height: usize) -> String {
+    let mut out = String::from("Figure 4: average power vs transmission interval (log y, mW)\n");
+    // Log-scale bands: 1e-4 .. 1e3 like the paper's axis.
+    let (ymin, ymax) = (1e-4f64, 1e3f64);
+    let symbols = ['P', 'D', 'W', 'B']; // WiFi-PS, WiFi-DC, WiLE, BLE
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, sym) in f.curves.iter().zip(symbols) {
+        for &(x_min, y) in &c.points {
+            let col = ((x_min / 5.0) * (width as f64 - 1.0)).round() as usize;
+            let frac = (y.max(ymin).ln() - ymin.ln()) / (ymax.ln() - ymin.ln());
+            let row =
+                height - 1 - ((frac * (height as f64 - 1.0)).round() as usize).min(height - 1);
+            if grid[row][col.min(width - 1)] == ' ' {
+                grid[row][col.min(width - 1)] = sym;
+            }
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1e3  |"
+        } else if i == height - 1 {
+            "1e-4 |"
+        } else {
+            "     |"
+        };
+        let _ = writeln!(out, "{label}{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "     +{}", "-".repeat(width));
+    let _ = writeln!(out, "      0 min{:>width$}", "5 min", width = width - 10);
+    let _ = writeln!(out, "      P=WiFi-PS D=WiFi-DC W=Wi-LE B=BLE");
+    if let Some(x) = f.ps_dc_crossover_min() {
+        let _ = writeln!(out, "      WiFi-PS/WiFi-DC crossover ≈ {x:.2} min");
+    }
+    out
+}
+
+/// Render every artifact: the full evaluation in one string.
+pub fn render_all() -> String {
+    let t = crate::table1::table1();
+    let mut out = render_table1(&t);
+    out.push('\n');
+    out.push_str(&render_fig3(&crate::fig3::fig3a(), 100, 12));
+    out.push('\n');
+    out.push_str(&render_fig3(&crate::fig3::fig3b(), 100, 12));
+    out.push('\n');
+    out.push_str(&render_fig4(
+        &crate::fig4::fig4_from(&t, &crate::fig4::default_grid()),
+        100,
+        16,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table1::table1;
+
+    #[test]
+    fn table_contains_all_columns_and_paper_rows() {
+        let s = render_table1(&table1());
+        for name in ["Wi-LE", "BLE", "WiFi-DC", "WiFi-PS", "(paper)"] {
+            assert!(s.contains(name), "missing {name}:\n{s}");
+        }
+        assert!(s.contains("µJ") && s.contains("mJ") && s.contains("µA"));
+    }
+
+    #[test]
+    fn fig3_render_lists_phases() {
+        let s = render_fig3(&crate::fig3::fig3b(), 60, 8);
+        assert!(s.contains("MC/WiFi init"));
+        assert!(s.contains("Tx"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn fig4_render_has_all_symbols_and_crossover() {
+        let f = crate::fig4::fig4();
+        let s = render_fig4(&f, 80, 12);
+        for sym in ["P", "D", "W", "B"] {
+            assert!(s.contains(sym));
+        }
+        assert!(s.contains("crossover"));
+    }
+
+    #[test]
+    fn energy_formatting() {
+        assert_eq!(format_energy(0.084), "84 µJ");
+        assert_eq!(format_energy(238.2), "238.2 mJ");
+        assert_eq!(format_current(0.0025), "2.5 µA");
+        assert_eq!(format_current(4.5), "4500.0 µA");
+    }
+}

@@ -1,0 +1,105 @@
+//! The common shape of a scenario measurement.
+
+/// What §5.4's methodology extracts from one scenario: "we measure the
+/// time the microcontroller and WiFi module are on while transmitting a
+/// packet. We also measure the average power consumption during this
+/// time. We then multiply these numbers to calculate the energy. We
+/// also measure the current consumed while in idle mode."
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name as it appears in Table 1.
+    pub name: &'static str,
+    /// Energy to transmit one message, millijoules.
+    pub energy_per_packet_mj: f64,
+    /// Idle (between transmissions) current, milliamps.
+    pub idle_current_ma: f64,
+    /// Supply voltage, volts.
+    pub supply_v: f64,
+    /// Duration of the per-packet active window, seconds.
+    pub ttx_s: f64,
+}
+
+impl ScenarioResult {
+    /// Energy per packet in microjoules.
+    pub fn energy_per_packet_uj(&self) -> f64 {
+        self.energy_per_packet_mj * 1000.0
+    }
+
+    /// Mean power during the active window, milliwatts.
+    pub fn ptx_mw(&self) -> f64 {
+        if self.ttx_s > 0.0 {
+            self.energy_per_packet_mj / self.ttx_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Idle power, milliwatts.
+    pub fn pidle_mw(&self) -> f64 {
+        self.idle_current_ma * self.supply_v
+    }
+
+    /// Equation (1): average power at transmission interval `int_s`,
+    /// milliwatts.
+    pub fn average_power_mw(&self, int_s: f64) -> f64 {
+        wile_instrument::energy::eq1_average_power_mw(
+            self.ptx_mw(),
+            self.ttx_s,
+            self.pidle_mw(),
+            int_s,
+        )
+    }
+
+    /// Average current at interval `int_s`, milliamps (for battery
+    /// lifetime estimates).
+    pub fn average_current_ma(&self, int_s: f64) -> f64 {
+        self.average_power_mw(int_s) / self.supply_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioResult {
+        ScenarioResult {
+            name: "X",
+            energy_per_packet_mj: 0.084,
+            idle_current_ma: 0.0025,
+            supply_v: 3.3,
+            ttx_s: 131e-6,
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = sample();
+        assert!((s.energy_per_packet_uj() - 84.0).abs() < 1e-9);
+        assert!((s.ptx_mw() - 0.084 / 131e-6).abs() < 1e-6);
+        assert!((s.pidle_mw() - 0.00825).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq1_at_ten_minutes() {
+        let s = sample();
+        // 84 µJ / 600 s + idle: 0.14 µW + 8.25 µW ≈ 8.39 µW.
+        let p = s.average_power_mw(600.0);
+        assert!((p - 0.00839).abs() < 0.0002, "{p}");
+    }
+
+    #[test]
+    fn average_power_decreases_with_interval() {
+        let s = sample();
+        assert!(s.average_power_mw(10.0) > s.average_power_mw(100.0));
+        assert!(s.average_power_mw(100.0) > s.average_power_mw(1000.0));
+    }
+
+    #[test]
+    fn average_current_consistent() {
+        let s = sample();
+        let int_s = 60.0;
+        assert!(
+            (s.average_current_ma(int_s) * s.supply_v - s.average_power_mw(int_s)).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Deployment planner: given a target distance and reporting interval,
+//! pick the injection rate, repeat count and estimate battery life —
+//! the §5.4 rate-choice argument turned into a tool.
+//!
+//! ```sh
+//! cargo run --release --example link_planner                # defaults: 5 m, 10 min
+//! cargo run --release --example link_planner -- 25 2        # 25 m, report every 2 min
+//! ```
+
+use wile::planning::{max_range_m, plan_link};
+use wile::reliability::RepeatPolicy;
+use wile::scanner::ScanSchedule;
+use wile_device::battery::Battery;
+use wile_device::esp32::{esp32_current_model, esp32_timing, SUPPLY_V};
+use wile_device::PowerState;
+use wile_radio::channel::ChannelModel;
+use wile_radio::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let distance_m: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5.0);
+    let interval_min: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+
+    let channel = ChannelModel::default();
+    let beacon_len = 128;
+    let tx_power = 0.0;
+
+    println!(
+        "Wi-LE deployment plan — {distance_m} m to the gateway, reporting every {interval_min} min"
+    );
+    println!(
+        "channel model: log-distance n={}, noise floor {} dBm\n",
+        channel.exponent,
+        channel.effective_noise_dbm()
+    );
+
+    let Some(plan) = plan_link(&channel, distance_m, tx_power, beacon_len, 0.05) else {
+        let reach = max_range_m(&channel, tx_power, beacon_len, 0.05);
+        println!("✗ no rate closes this link at {tx_power} dBm (max range ≈ {reach:.0} m).");
+        println!("  options: raise TX power, move the gateway closer, or add a relay.");
+        std::process::exit(1);
+    };
+
+    println!(
+        "rate choice:     {} (SNR {:.1} dB, per-beacon delivery {:.1} %)",
+        plan.rate,
+        plan.snr_db,
+        plan.delivery_probability * 100.0
+    );
+    println!("beacon airtime:  {} µs", plan.airtime_us);
+
+    // Repeats for 99.9 % against RF loss alone, and against a
+    // duty-cycled phone scanner.
+    let k_rf = RepeatPolicy::copies_for(plan.delivery_probability, 0.999).unwrap_or(15);
+    println!("repeats (always-on gateway, 99.9 % target): {k_rf}");
+    let phone = ScanSchedule::phone_background();
+    match phone.copies_for_scanner(
+        plan.delivery_probability,
+        Duration::from_us(plan.airtime_us),
+        0.9,
+    ) {
+        Some(k) => println!("repeats (phone background scan, 90 % target): {k}"),
+        None => println!(
+            "repeats (phone background scan, 90 % target): unreachable within 15 copies \
+             — spread copies across scan cycles (duty cycle {:.1} %)",
+            phone.duty_cycle() * 100.0
+        ),
+    }
+
+    // Energy per report: full wake cycle + (k-1) extra tx windows.
+    let model = esp32_current_model();
+    let timing = esp32_timing();
+    let wake_s =
+        (timing.boot_from_deep_sleep + timing.wifi_init_inject + timing.sleep_entry).as_secs_f64();
+    let tx_s = (timing.tx_ramp.as_us() + plan.airtime_us) as f64 * 1e-6;
+    let wake_mj = model.current_ma(PowerState::Active { mhz: 80 }) * SUPPLY_V * wake_s;
+    let tx_mj = model.current_ma(PowerState::RadioTx {
+        power_dbm: tx_power,
+    }) * SUPPLY_V
+        * tx_s;
+    let per_report_mj = wake_mj + k_rf as f64 * tx_mj;
+    println!("\nenergy per report (ESP32 full cycle, {k_rf} copies): {per_report_mj:.1} mJ");
+
+    // Battery life at the requested cadence.
+    let interval_s = interval_min * 60.0;
+    let idle_ma = model.current_ma(PowerState::DeepSleep);
+    let avg_ma = per_report_mj / SUPPLY_V / interval_s + idle_ma;
+    println!("average current: {:.1} µA", avg_ma * 1000.0);
+    for (name, battery) in [
+        ("CR2032", Battery::cr2032()),
+        ("2xAA lithium", Battery::aa_pair()),
+    ] {
+        let days = battery.lifetime_days(avg_ma);
+        println!(
+            "battery life on {name}: {days:.0} days ({:.1} years)",
+            days / 365.0
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Regenerate the paper's evaluation artifacts.
+//!
+//! ```sh
+//! cargo run --release --example power_survey            # everything
+//! cargo run --release --example power_survey -- table1  # one artifact
+//! cargo run --release --example power_survey -- fig3a
+//! cargo run --release --example power_survey -- fig3b
+//! cargo run --release --example power_survey -- fig4
+//! cargo run --release --example power_survey -- csv     # machine-readable dump
+//! ```
+
+use wile_instrument::export::{series_to_dat, to_csv};
+use wile_scenarios::{ablation, fig3, fig4, report, table1};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match arg.as_str() {
+        "table1" => print!("{}", report::render_table1(&table1::table1())),
+        "fig3a" => print!("{}", report::render_fig3(&fig3::fig3a(), 100, 14)),
+        "fig3b" => print!("{}", report::render_fig3(&fig3::fig3b(), 100, 14)),
+        "fig4" => {
+            let t = table1::table1();
+            let f = fig4::fig4_from(&t, &fig4::default_grid());
+            print!("{}", report::render_fig4(&f, 100, 16));
+        }
+        "csv" => dump_csv(),
+        "ablations" => ablations(),
+        "all" => {
+            print!("{}", report::render_all());
+            println!();
+            ablations();
+        }
+        other => {
+            eprintln!("unknown artifact '{other}'; try table1 | fig3a | fig3b | fig4 | csv | ablations | all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn dump_csv() {
+    // Figure 3 waveforms as CSV, Figure 4 curves as gnuplot .dat blocks.
+    let a = fig3::fig3a();
+    println!("# --- fig3a.csv ---");
+    print!("{}", to_csv(&fig3::plot_trace(&a, 2000)));
+    let b = fig3::fig3b();
+    println!("# --- fig3b.csv ---");
+    print!("{}", to_csv(&fig3::plot_trace(&b, 2000)));
+    let f = fig4::fig4();
+    for c in &f.curves {
+        println!("# --- fig4 ---");
+        print!("{}", series_to_dat(c.name, &c.points));
+    }
+}
+
+fn ablations() {
+    println!("Ablation: injection bitrate (128-byte beacon, 0 dBm)");
+    println!("{:>12} {:>14} {:>10}", "rate", "tx energy", "range");
+    for p in ablation::bitrate_sweep(128) {
+        println!(
+            "{:>12} {:>11.1} µJ {:>8.1} m",
+            p.rate.to_string(),
+            p.tx_energy_uj,
+            p.range_m
+        );
+    }
+    println!();
+    println!("Ablation: payload size vs fragmentation");
+    let cap = wile::encode::FRAGMENT_CAPACITY;
+    for p in ablation::payload_sweep(&[8, 64, cap, cap + 1, 500, 900]) {
+        println!(
+            "  payload {:>4} B -> beacon {:>4} B, {} fragment(s), {:>6.1} µJ",
+            p.payload_len, p.beacon_len, p.fragments, p.tx_energy_uj
+        );
+    }
+    println!();
+    println!("Ablation: init-time scaling toward the ASIC regime (§5.4)");
+    for p in ablation::init_time_sweep(&[1.0, 0.5, 0.2, 0.05, 0.01]) {
+        println!(
+            "  init {:>8.4} s -> full cycle {:>10.1} µJ",
+            p.init_s, p.full_cycle_uj
+        );
+    }
+    let asic = ablation::asic_full_cycle();
+    println!(
+        "  ASIC endpoint: {:.1} µJ per full wake cycle (BLE: 71 µJ)",
+        asic.energy_per_packet_mj * 1000.0
+    );
+    println!();
+    println!("Ablation: failed-scan energy (AP unreachable)");
+    let failed = ablation::failed_scan_energy_mj();
+    println!(
+        "  failed WiFi-DC wake: {failed:.1} mJ (successful association: {:.1} mJ)",
+        wile_scenarios::wifi_dc::table1_row().energy_per_packet_mj
+    );
+    println!();
+    println!("Ablation: channel-scan overhead (AP channel unknown)");
+    for k in [1usize, 3, 11] {
+        println!(
+            "  scanning {k:>2} channels -> +{:>6.1} mJ per wake",
+            ablation::channel_scan_overhead_mj(k)
+        );
+    }
+    println!();
+    println!("Ablation: §6 two-way receive-window cadence (8 cycles, 8 queued commands)");
+    for p in ablation::twoway_cadence_sweep(&[1, 2, 4], 8) {
+        println!(
+            "  window every {} beacon(s): {:>6.1} ms listening, {} commands delivered",
+            p.window_every,
+            p.listen_time_s * 1000.0,
+            p.commands_delivered
+        );
+    }
+    println!();
+    println!("Ablation: §6 clock-drift decorrelation (4 devices, same period, same start)");
+    let (ideal, drifting) = ablation::drift_ablation(4, 12);
+    println!(
+        "  ideal clocks:    delivery {:>5.1} %  (collisions persist)",
+        ideal.delivery_ratio * 100.0
+    );
+    println!(
+        "  ±20 ppm crystals: delivery {:>5.1} %, tail {:>5.1} %  (drift pulls them apart)",
+        drifting.delivery_ratio * 100.0,
+        drifting.tail_ratio * 100.0
+    );
+}

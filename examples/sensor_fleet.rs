@@ -1,0 +1,55 @@
+//! The §6 "network of IoT devices" study: many sensors, equal
+//! transmission periods, synchronized start — do collisions persist?
+//!
+//! ```sh
+//! cargo run --release --example sensor_fleet              # defaults
+//! cargo run --release --example sensor_fleet -- 12 40     # devices rounds
+//! ```
+
+use wile::sched::{run_fleet, FleetConfig};
+use wile_radio::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let devices: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let rounds: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    println!(
+        "fleet: {devices} devices, {rounds} rounds, 60 s nominal period, synchronized start\n"
+    );
+
+    for (label, drift) in [
+        ("ideal clocks (pathological)", None),
+        ("±20 ppm IoT crystals", Some(1u64)),
+    ] {
+        let out = run_fleet(&FleetConfig {
+            devices,
+            rounds,
+            drift,
+            period: Duration::from_secs(60),
+            ..Default::default()
+        });
+        println!("{label}:");
+        println!(
+            "  overall delivery: {:>5.1} %",
+            out.delivery_ratio() * 100.0
+        );
+        let (head, tail) = out.head_tail_ratio(5);
+        println!("  first 5 rounds:   {:>5.1} %", head * 100.0);
+        println!("  last 5 rounds:    {:>5.1} %", tail * 100.0);
+        print!("  per-round: ");
+        for (i, d) in out.delivered_per_round.iter().enumerate() {
+            if i > 0 && i % 15 == 0 {
+                print!("\n             ");
+            }
+            print!("{d:>2}/{devices} ");
+        }
+        println!("\n");
+    }
+    println!(
+        "The paper's §6 conjecture: \"if two devices happen to transmit at the same time and\n\
+         they have the same transmission period, their transmissions will automatically differ\n\
+         away from each other due to the jitter of their clocks.\" The second run shows exactly\n\
+         that; the first shows why the conjecture needs real crystals to hold."
+    );
+}

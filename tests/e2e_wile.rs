@@ -1,0 +1,242 @@
+//! End-to-end integration: the full Wi-LE pipeline across crates —
+//! message codec → beacon construction → injection → simulated medium
+//! (with faults/range) → monitor-mode gateway → decryption.
+
+use wile::prelude::*;
+use wile::registry::Registry;
+use wile::sensor::{decode_readings, encode_readings, Reading};
+use wile_dot11::mgmt::Beacon;
+use wile_radio::medium::TxParams;
+use wile_radio::time::{Duration, Instant};
+use wile_radio::{FaultInjector, Medium, RadioConfig};
+
+#[test]
+fn plaintext_pipeline_delivers_readings() {
+    let mut medium = Medium::new(Default::default(), 100);
+    let sensor = medium.attach(RadioConfig::default());
+    let phone = medium.attach(RadioConfig {
+        position_m: (4.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+    let payload = encode_readings(&[Reading::TemperatureCentiC(-512), Reading::Counter(88)]);
+    inj.inject(&mut medium, sensor, &payload);
+
+    let mut gw = Gateway::new();
+    let got = gw.poll(&mut medium, phone, Instant::from_secs(2));
+    assert_eq!(got.len(), 1);
+    let readings = decode_readings(&got[0].payload).unwrap();
+    assert_eq!(
+        readings,
+        [Reading::TemperatureCentiC(-512), Reading::Counter(88)]
+    );
+}
+
+#[test]
+fn encrypted_pipeline_round_trips_and_rejects_outsiders() {
+    let registry = Registry::provision_fleet(b"secret", 3);
+    let mut medium = Medium::new(Default::default(), 101);
+    let sensor = medium.attach(RadioConfig::default());
+    let phone = medium.attach(RadioConfig {
+        position_m: (2.0, 0.0),
+        ..Default::default()
+    });
+    let eavesdropper = medium.attach(RadioConfig {
+        position_m: (0.0, 2.0),
+        ..Default::default()
+    });
+
+    let mut inj = Injector::new(registry.get(2).unwrap().clone(), Instant::ZERO);
+    inj.inject_sealed(&mut medium, sensor, b"gate=open");
+
+    // The provisioned phone decrypts.
+    let mut gw = Gateway::new();
+    let got = gw.poll_decrypt(&mut medium, phone, Instant::from_secs(2), &registry, 0);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].payload, b"gate=open");
+
+    // The eavesdropper sees the beacon but not the plaintext.
+    let mut spy = Gateway::new();
+    let overheard = spy.poll(&mut medium, eavesdropper, Instant::from_secs(2));
+    assert_eq!(overheard.len(), 1);
+    assert!(overheard[0].encrypted);
+    assert_ne!(overheard[0].payload, b"gate=open");
+    // With a wrong registry, nothing decrypts.
+    let wrong = Registry::provision_fleet(b"not-the-secret", 3);
+    let mut spy2 = Gateway::new();
+    assert!(spy2
+        .poll_decrypt(&mut medium, eavesdropper, Instant::from_secs(2), &wrong, 0)
+        .is_empty());
+}
+
+#[test]
+fn out_of_range_receiver_hears_nothing() {
+    // §2: "the range of Wi-LE is the same as typical WiFi" — but MCS7
+    // at 0 dBm specifically is a few metres (§5.4). 60 m is far out.
+    let mut medium = Medium::new(Default::default(), 102);
+    let sensor = medium.attach(RadioConfig::default());
+    let far = medium.attach(RadioConfig {
+        position_m: (60.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    inj.inject(&mut medium, sensor, b"x");
+    let mut gw = Gateway::new();
+    assert!(gw.poll(&mut medium, far, Instant::from_secs(2)).is_empty());
+}
+
+#[test]
+fn low_rate_injection_reaches_further() {
+    // The bitrate ablation's range story, verified on the actual medium:
+    // a receiver where MCS7 dies still hears 1 Mb/s DSSS.
+    let run_at = |rate, dist| {
+        let mut medium = Medium::new(Default::default(), 103);
+        let sensor = medium.attach(RadioConfig::default());
+        let rx = medium.attach(RadioConfig {
+            position_m: (dist, 0.0),
+            ..Default::default()
+        });
+        let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+        inj.rate = rate;
+        inj.inject(&mut medium, sensor, b"x");
+        let mut gw = Gateway::new();
+        gw.poll(&mut medium, rx, Instant::from_secs(2)).len()
+    };
+    use wile_dot11::phy::PhyRate;
+    let d = 25.0;
+    assert_eq!(
+        run_at(PhyRate::WILE_PAPER, d),
+        0,
+        "MCS7 should die at {d} m"
+    );
+    assert_eq!(
+        run_at(PhyRate::Dsss1, d),
+        1,
+        "DSSS-1 should survive at {d} m"
+    );
+}
+
+#[test]
+fn fault_injected_corruption_is_dropped_cleanly() {
+    // smoltcp-style fault injection between medium and receiver: a
+    // corrupted beacon must fail FCS and be counted, never mis-parsed.
+    let mut medium = Medium::new(Default::default(), 104);
+    let sensor = medium.attach(RadioConfig::default());
+    let phone = medium.attach(RadioConfig {
+        position_m: (2.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    for i in 0..20 {
+        inj.sleep_until(Instant::from_secs(1 + i));
+        inj.inject(&mut medium, sensor, b"reading");
+    }
+    // Pull raw frames, corrupt half of them, re-feed a gateway.
+    let mut fault = FaultInjector::new(0.0, 0.5, 7);
+    let mut gw = Gateway::new();
+    let mut delivered = 0;
+    for mut rx in medium.take_inbox(phone, Instant::from_secs(60)) {
+        fault.apply(&mut rx.bytes);
+        // Feed through a private medium so the gateway path is identical.
+        let mut relay = Medium::new(Default::default(), 1);
+        let a = relay.attach(RadioConfig::default());
+        let _b = relay.attach(RadioConfig {
+            position_m: (1.0, 0.0),
+            ..Default::default()
+        });
+        relay.transmit(
+            a,
+            Instant::from_ms(1),
+            TxParams {
+                airtime: Duration::from_us(50),
+                power_dbm: 0.0,
+                min_snr_db: 5.0,
+            },
+            rx.bytes,
+        );
+        let got = gw.poll(&mut relay, wile_radio::RadioId(1), Instant::from_secs(1));
+        delivered += got.len();
+    }
+    let stats = gw.stats();
+    assert_eq!(stats.frames_seen, 20);
+    assert!(stats.bad_fcs >= 5, "bad_fcs {}", stats.bad_fcs);
+    assert!((5..20).contains(&delivered), "delivered {delivered}");
+    assert_eq!(stats.bad_fcs + stats.delivered, 20);
+}
+
+#[test]
+fn channel_mismatch_loses_everything() {
+    // Wi-LE deployments must agree on a channel out of band (the device
+    // cannot scan for its gateway — that would cost the energy Wi-LE
+    // exists to avoid). A gateway parked on channel 11 hears nothing
+    // from a channel-6 sensor.
+    let mut medium = Medium::new(Default::default(), 106);
+    let sensor = medium.attach(RadioConfig {
+        channel: 6,
+        ..Default::default()
+    });
+    let phone = medium.attach(RadioConfig {
+        channel: 11,
+        position_m: (1.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    inj.inject(&mut medium, sensor, b"hello?");
+    let mut gw = Gateway::new();
+    assert!(gw
+        .poll(&mut medium, phone, Instant::from_secs(2))
+        .is_empty());
+    assert_eq!(gw.stats().frames_seen, 0);
+}
+
+#[test]
+fn gateway_coexists_with_real_ap_beacons() {
+    // §4.1: Wi-LE "does not interfere with the normal operation of WiFi
+    // networks" — and vice versa: a gateway scanning amid AP beacons
+    // picks out only Wi-LE traffic.
+    let mut medium = Medium::new(Default::default(), 105);
+    let sensor = medium.attach(RadioConfig::default());
+    let ap = medium.attach(RadioConfig {
+        position_m: (5.0, 0.0),
+        ..Default::default()
+    });
+    let phone = medium.attach(RadioConfig {
+        position_m: (2.0, 2.0),
+        ..Default::default()
+    });
+
+    let mut access_point = wile_netstack::ap::AccessPoint::new(
+        b"HomeNet",
+        "pw",
+        wile_dot11::MacAddr::new([0xAA; 6]),
+        6,
+    );
+    // Interleave AP beacons and one Wi-LE injection in time order.
+    for i in 0..4u64 {
+        let b = access_point.beacon(i * 102_400);
+        medium.transmit(
+            ap,
+            Instant::from_us(i * 102_400),
+            TxParams {
+                airtime: Duration::from_ms(1),
+                power_dbm: 20.0,
+                min_snr_db: 4.0,
+            },
+            b,
+        );
+    }
+    let mut inj = Injector::new(DeviceIdentity::new(3), Instant::from_ms(450));
+    inj.inject(&mut medium, sensor, b"mine");
+
+    let mut gw = Gateway::new();
+    let got = gw.poll(&mut medium, phone, Instant::from_secs(2));
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].payload, b"mine");
+    assert_eq!(gw.stats().foreign_beacons, 4);
+
+    // And the AP's beacons still parse as ordinary beacons with visible
+    // SSID — Wi-LE did not pollute them.
+    let (_, _, _, bytes) = medium.transmissions().next().unwrap();
+    let b = Beacon::new_checked(bytes).unwrap();
+    assert_eq!(b.ssid().unwrap(), Some(&b"HomeNet"[..]));
+}

@@ -1,0 +1,120 @@
+//! Integration: multi-device behaviour — the §6 fleet, gateway
+//! aggregation, and mixed traffic.
+
+use wile::prelude::*;
+use wile::sched::{run_fleet, FleetConfig};
+use wile_radio::time::{Duration, Instant};
+use wile_radio::{Medium, RadioConfig};
+
+#[test]
+fn big_staggered_fleet_delivers_everything() {
+    let out = run_fleet(&FleetConfig {
+        devices: 20,
+        rounds: 6,
+        drift: Some(9),
+        synchronized_start: false,
+        period: Duration::from_secs(60),
+        radius_m: 4.0,
+    });
+    assert_eq!(out.injected, 120);
+    assert_eq!(out.delivery_ratio(), 1.0);
+}
+
+#[test]
+fn synchronized_fleet_recovers_within_a_few_rounds() {
+    let out = run_fleet(&FleetConfig {
+        devices: 6,
+        rounds: 20,
+        drift: Some(4),
+        synchronized_start: true,
+        period: Duration::from_secs(60),
+        ..Default::default()
+    });
+    // Round 0 collides heavily…
+    assert!(
+        out.delivered_per_round[0] <= 2,
+        "round0 {}",
+        out.delivered_per_round[0]
+    );
+    // …but the tail runs clean.
+    let tail: usize = out.delivered_per_round[15..].iter().sum();
+    assert!(tail >= 5 * 6 - 3, "tail {tail}");
+}
+
+#[test]
+fn gateway_distinguishes_many_devices() {
+    // §6: unique identifiers distinguish interleaved streams.
+    let mut medium = Medium::new(Default::default(), 70);
+    let gw_radio = medium.attach(RadioConfig::default());
+    let mut injectors: Vec<(wile_radio::RadioId, Injector)> = (1..=5u32)
+        .map(|id| {
+            let r = medium.attach(RadioConfig {
+                position_m: (2.0, id as f64),
+                ..Default::default()
+            });
+            (r, Injector::new(DeviceIdentity::new(id), Instant::ZERO))
+        })
+        .collect();
+    // Three interleaved rounds, staggered 2 s apart.
+    let mut t = Instant::from_secs(1);
+    for round in 0..3 {
+        for (i, (radio, inj)) in injectors.iter_mut().enumerate() {
+            inj.sleep_until(t);
+            inj.inject(
+                &mut medium,
+                *radio,
+                format!("d{}r{round}", i + 1).as_bytes(),
+            );
+            t += Duration::from_secs(2);
+        }
+    }
+    let mut gw = Gateway::new();
+    let got = gw.poll(&mut medium, gw_radio, t + Duration::from_secs(2));
+    assert_eq!(got.len(), 15);
+    for rx in &got {
+        let expect = format!("d{}r{}", rx.device_id, rx.seq);
+        assert_eq!(rx.payload, expect.as_bytes());
+    }
+    // Every device contributed exactly 3.
+    for id in 1..=5u32 {
+        assert_eq!(got.iter().filter(|r| r.device_id == id).count(), 3);
+    }
+}
+
+#[test]
+fn per_device_seq_spaces_are_independent() {
+    // Two devices both at seq 0 must not collide in dedup.
+    let mut medium = Medium::new(Default::default(), 71);
+    let gw_radio = medium.attach(RadioConfig::default());
+    let r1 = medium.attach(RadioConfig {
+        position_m: (1.0, 0.0),
+        ..Default::default()
+    });
+    let r2 = medium.attach(RadioConfig {
+        position_m: (0.0, 1.0),
+        ..Default::default()
+    });
+    let mut a = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    let mut b = Injector::new(DeviceIdentity::new(2), Instant::ZERO);
+    a.inject(&mut medium, r1, b"from-a");
+    b.sleep_until(Instant::from_secs(2));
+    b.inject(&mut medium, r2, b"from-b");
+    let mut gw = Gateway::new();
+    let got = gw.poll(&mut medium, gw_radio, Instant::from_secs(5));
+    assert_eq!(got.len(), 2);
+    assert_eq!(gw.stats().duplicates, 0);
+}
+
+#[test]
+fn fleet_scales_to_fifty_devices() {
+    let out = run_fleet(&FleetConfig {
+        devices: 50,
+        rounds: 3,
+        drift: Some(2),
+        synchronized_start: false,
+        period: Duration::from_secs(120),
+        radius_m: 5.0,
+    });
+    assert_eq!(out.injected, 150);
+    assert!(out.delivery_ratio() > 0.95, "{}", out.delivery_ratio());
+}
