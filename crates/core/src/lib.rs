@@ -44,6 +44,8 @@
 //!   producing the power trace of Fig. 3b;
 //! * [`monitor`] — the receiver side: beacon filtering, fragment
 //!   reassembly, (device, seq) dedup;
+//! * [`linkhealth`] — gateway-side per-device loss estimation,
+//!   replay/reorder tolerance, hysteresis status, stale eviction;
 //! * [`registry`] — device identities (§6: "messages … must contain
 //!   unique identifiers") and per-device keys;
 //! * [`sched`] — periodic transmission with drifting clocks (§6's
@@ -55,7 +57,9 @@
 //!   receive window after themselves;
 //! * [`sensor`] — compact binary codecs for typical IoT readings;
 //! * [`reliability`] — k-repeat transmission for the unacknowledged
-//!   one-way link, with the diversity math for choosing k;
+//!   one-way link, the diversity math for choosing k, and the adaptive
+//!   policy that retunes k and period under fault pressure inside an
+//!   energy budget;
 //! * [`planning`] — rate selection against a channel model (generalizes
 //!   §5.4's 72.2 Mb/s-at-a-few-metres choice);
 //! * [`scanner`] — receiver-side duty cycling and its coupling to the
@@ -69,6 +73,7 @@
 pub mod beacon;
 pub mod encode;
 pub mod inject;
+pub mod linkhealth;
 pub mod message;
 pub mod monitor;
 pub mod planning;
@@ -95,8 +100,10 @@ pub const VTYPE_RX_WINDOW: u8 = 0x02;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::inject::{InjectReport, Injector};
+    pub use crate::linkhealth::{LinkHealth, LinkHealthConfig, LinkStatus};
     pub use crate::message::Message;
     pub use crate::monitor::{Gateway, Received};
     pub use crate::registry::DeviceIdentity;
+    pub use crate::reliability::{AdaptiveConfig, AdaptiveRepeat, EnergyBudget, RepeatPolicy};
     pub use crate::sched::PeriodicSchedule;
 }

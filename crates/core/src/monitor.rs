@@ -12,6 +12,7 @@
 
 use crate::beacon::wile_fragments;
 use crate::encode::decode_fragments;
+use crate::linkhealth::{LinkHealth, LinkHealthConfig};
 use crate::registry::Registry;
 use crate::security::decrypt_message;
 use std::collections::HashSet;
@@ -75,12 +76,35 @@ impl Received {
 pub struct Gateway {
     seen: HashSet<(u32, u16)>,
     stats: GatewayStats,
+    health: Option<LinkHealth>,
 }
 
 impl Gateway {
     /// A fresh gateway.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A gateway that additionally tracks per-device link health (loss
+    /// estimates, hysteresis status, stale eviction) from the message
+    /// stream it polls. The estimates feed the two-way feedback loop
+    /// driving [`crate::reliability::AdaptiveRepeat`].
+    pub fn with_link_health(cfg: LinkHealthConfig) -> Self {
+        Gateway {
+            health: Some(LinkHealth::new(cfg)),
+            ..Default::default()
+        }
+    }
+
+    /// The link-health table, if enabled.
+    pub fn link_health(&self) -> Option<&LinkHealth> {
+        self.health.as_ref()
+    }
+
+    /// Mutable link-health access (status queries update hysteresis
+    /// latches; eviction mutates the table).
+    pub fn link_health_mut(&mut self) -> Option<&mut LinkHealth> {
+        self.health.as_mut()
     }
 
     /// The running counters.
@@ -91,8 +115,21 @@ impl Gateway {
     /// Pull everything that arrived at `radio` by `up_to` and return the
     /// new Wi-LE messages, in arrival order.
     pub fn poll(&mut self, medium: &mut Medium, radio: RadioId, up_to: Instant) -> Vec<Received> {
+        self.ingest(medium.take_inbox(radio, up_to))
+    }
+
+    /// Process raw received frames (already pulled from a radio) through
+    /// the full gateway pipeline: FCS check, Wi-LE filtering, fragment
+    /// reassembly, link-health observation, (device, seq) dedup. This is
+    /// the entry point for harnesses that sit between the medium and the
+    /// gateway — e.g. the fault-campaign runner, which drops or corrupts
+    /// frames per its fault timeline before the gateway may see them.
+    pub fn ingest(
+        &mut self,
+        frames: impl IntoIterator<Item = wile_radio::RxFrame>,
+    ) -> Vec<Received> {
         let mut out = Vec::new();
-        for rx in medium.take_inbox(radio, up_to) {
+        for rx in frames {
             self.stats.frames_seen += 1;
             if !fcs::check_fcs(&rx.bytes) {
                 self.stats.bad_fcs += 1;
@@ -111,6 +148,12 @@ impl Gateway {
                 self.stats.reassembly_failures += 1;
                 continue;
             };
+            // Every decoded copy feeds link health (duplicates refresh
+            // the last-seen clock and are classified by its own
+            // replay window), independent of dedup below.
+            if let Some(h) = self.health.as_mut() {
+                h.observe(msg.device_id, msg.seq, rx.at);
+            }
             if !self.seen.insert((msg.device_id, msg.seq)) {
                 self.stats.duplicates += 1;
                 continue;
@@ -371,6 +414,33 @@ mod tests {
         let got = gw.poll(&mut medium, phone, Instant::from_secs(2));
         let d = got[0].estimate_distance_m(&model, 0.0);
         assert!((d - 3.0).abs() < 0.01, "estimated {d} m");
+    }
+
+    #[test]
+    fn link_health_tracks_sequence_gaps_across_polls() {
+        let (mut medium, sensor, phone) = setup();
+        let mut gw = Gateway::with_link_health(Default::default());
+        let mut inj = Injector::new(DeviceIdentity::new(6), Instant::ZERO);
+        // Only even sequence numbers make it to the air — the odd ones
+        // stand in for messages lost in a burst.
+        for i in (0..20u16).step_by(2) {
+            inj.sleep_until(Instant::from_secs(1 + i as u64));
+            let msg = Message::new(6, i, b"r");
+            inj.inject_message(&mut medium, sensor, &msg);
+        }
+        gw.poll(&mut medium, phone, Instant::from_secs(60));
+        let h = gw.link_health().unwrap();
+        assert_eq!(h.devices(), vec![6]);
+        let loss = h.loss_estimate(6).unwrap();
+        assert!(loss > 0.25, "loss {loss}");
+        assert_eq!(
+            gw.link_health_mut()
+                .unwrap()
+                .status(6, Instant::from_secs(60)),
+            crate::linkhealth::LinkStatus::Degraded
+        );
+        // A plain gateway carries no table.
+        assert!(Gateway::new().link_health().is_none());
     }
 
     #[test]

@@ -17,6 +17,17 @@ use crate::message::Message;
 use wile_radio::medium::{Medium, RadioId};
 use wile_radio::time::Duration;
 
+/// The most copies any policy will send for one message.
+///
+/// Beyond 15 copies the arithmetic stops paying: each copy costs a full
+/// wake cycle (~85 µJ at the paper's operating point), so 15 copies is
+/// already ~1.3 mJ — the regime where a WiFi power-save association
+/// becomes competitive and repetition is the wrong tool. It is also the
+/// point where, if 15 copies can't reach the target, the per-copy loss
+/// is so high that no realistic k will (see
+/// [`RepeatPolicy::copies_for`]'s `None` case).
+pub const MAX_COPIES: u8 = 15;
+
 /// How to repeat a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RepeatPolicy {
@@ -42,13 +53,17 @@ impl RepeatPolicy {
     }
 
     /// The smallest copy count achieving `target` delivery probability
-    /// at per-copy probability `p` (None if unreachable within 15).
+    /// at per-copy probability `p`. Returns `None` if the target is
+    /// unreachable within [`MAX_COPIES`] copies — the caller should
+    /// treat that as "repetition cannot save this link" rather than
+    /// ramping k further (see the [`MAX_COPIES`] docs for why the cap
+    /// sits where it does).
     pub fn copies_for(p: f64, target: f64) -> Option<u8> {
         assert!((0.0..1.0).contains(&target));
         if p <= 0.0 {
             return None;
         }
-        (1..=15u8).find(|&k| 1.0 - (1.0 - p).powi(k as i32) >= target)
+        (1..=MAX_COPIES).find(|&k| 1.0 - (1.0 - p).powi(k as i32) >= target)
     }
 }
 
@@ -90,6 +105,175 @@ pub fn inject_with_repeats(
         reports.push(injector.inject_message(medium, radio, &msg));
     }
     reports
+}
+
+/// Hard energy ceiling for adaptation.
+///
+/// Adaptive repetition must never turn a Wi-LE device into a WiFi-class
+/// consumer: whatever the channel does, the per-message energy stays
+/// under `per_message_uj_ceiling`. The budget converts that ceiling
+/// into a copy-count clamp using the measured per-copy cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    /// Most µJ one message (all its copies) may cost.
+    pub per_message_uj_ceiling: f64,
+    /// Measured cost of one copy (full wake → tx → sleep cycle), µJ.
+    pub per_copy_uj: f64,
+}
+
+impl EnergyBudget {
+    /// The largest copy count the ceiling permits (at least 1 — the
+    /// message itself is always sent — and never above [`MAX_COPIES`]).
+    pub fn max_copies(&self) -> u8 {
+        assert!(self.per_copy_uj > 0.0, "per-copy cost must be positive");
+        let k = (self.per_message_uj_ceiling / self.per_copy_uj).floor();
+        (k.max(1.0) as u64).clamp(1, MAX_COPIES as u64) as u8
+    }
+
+    /// Energy spent on a message sent with `copies` copies, µJ.
+    pub fn message_cost_uj(&self, copies: u8) -> f64 {
+        copies as f64 * self.per_copy_uj
+    }
+}
+
+/// Tuning for [`AdaptiveRepeat`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Message-level delivery probability to aim for when feedback is
+    /// available.
+    pub target_delivery: f64,
+    /// Policy used on a clean channel (also the floor adaptation
+    /// relaxes back to).
+    pub base: RepeatPolicy,
+    /// The energy clamp — adaptation can never exceed it.
+    pub budget: EnergyBudget,
+    /// Additive step the transmit period is stretched by per backoff
+    /// escalation (relieves a congested or jammed channel).
+    pub backoff_step: Duration,
+    /// Upper bound on the total period stretch.
+    pub max_backoff: Duration,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            target_delivery: 0.9,
+            base: RepeatPolicy::default(),
+            budget: EnergyBudget {
+                // ~10 copies at the paper's ~85 µJ/copy operating point.
+                per_message_uj_ceiling: 850.0,
+                per_copy_uj: 85.0,
+            },
+            backoff_step: Duration::from_secs(5),
+            max_backoff: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Device-side adaptive repetition for the one-way link.
+///
+/// Two operating modes, matching what the link actually offers:
+///
+/// * **Feedback-driven** — when the device opens `twoway` receive
+///   windows and the gateway reports its loss estimate back,
+///   [`AdaptiveRepeat::record_feedback`] solves for the smallest k
+///   meeting the delivery target at that loss (via
+///   [`RepeatPolicy::copies_for`]) and clamps it to the energy budget.
+/// * **Blind** — with no return path the only observable is the
+///   device's own carrier sense. [`AdaptiveRepeat::observe_air_busy`]
+///   ramps k up one copy per busy observation and decays one copy per
+///   quiet one, so the policy tracks interference without ever knowing
+///   the delivery rate.
+///
+/// Both modes also stretch the transmit period additively (bounded by
+/// `max_backoff`) while the channel looks bad, and relax it once it
+/// recovers — trading latency for energy exactly when repetition alone
+/// stops helping.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRepeat {
+    cfg: AdaptiveConfig,
+    copies: u8,
+    backoff: Duration,
+}
+
+impl AdaptiveRepeat {
+    /// Start at the configured base policy (clamped to the budget).
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        assert!((0.0..1.0).contains(&cfg.target_delivery));
+        assert!(cfg.base.copies >= 1);
+        let copies = cfg.base.copies.min(cfg.budget.max_copies());
+        AdaptiveRepeat {
+            cfg,
+            copies,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The policy to use for the next message.
+    pub fn policy(&self) -> RepeatPolicy {
+        RepeatPolicy {
+            copies: self.copies,
+            spacing: self.cfg.base.spacing,
+        }
+    }
+
+    /// Current additive stretch to apply to the nominal period.
+    pub fn period_backoff(&self) -> Duration {
+        self.backoff
+    }
+
+    /// Energy the next message will cost under the current policy, µJ.
+    /// Guaranteed ≤ the configured ceiling.
+    pub fn energy_per_message_uj(&self) -> f64 {
+        self.cfg.budget.message_cost_uj(self.copies)
+    }
+
+    /// Feedback path: the gateway reported `message_loss` — the
+    /// fraction of this device's *messages* it failed to deliver, in
+    /// `[0,1]`. That estimate already includes whatever diversity the
+    /// current k bought (the gateway dedups copies before it ever sees
+    /// a loss), so invert `L_msg = l^k` under the independence
+    /// assumption to recover the per-copy loss `l`, then re-solve for
+    /// the smallest k meeting the target. Correlated (bursty) losses
+    /// inflate the recovered `l`, which errs toward more copies —
+    /// exactly the safe direction.
+    pub fn record_feedback(&mut self, message_loss: f64) {
+        assert!((0.0..=1.0).contains(&message_loss));
+        let per_copy_loss = message_loss.powf(1.0 / self.copies as f64);
+        let p = 1.0 - per_copy_loss;
+        let want = RepeatPolicy::copies_for(p, self.cfg.target_delivery)
+            // Target unreachable: spend the whole budget, it is the
+            // best repetition can do.
+            .unwrap_or(MAX_COPIES);
+        self.copies = want
+            .max(self.cfg.base.copies)
+            .min(self.cfg.budget.max_copies());
+        if message_loss > 0.5 {
+            self.escalate_backoff();
+        } else if message_loss < 0.1 {
+            self.relax_backoff();
+        }
+    }
+
+    /// Blind path: one carrier-sense observation taken around a
+    /// transmit opportunity. Ramp on busy, decay on quiet.
+    pub fn observe_air_busy(&mut self, busy: bool) {
+        if busy {
+            self.copies = (self.copies + 1).min(self.cfg.budget.max_copies());
+            self.escalate_backoff();
+        } else {
+            self.copies = self.copies.saturating_sub(1).max(self.cfg.base.copies);
+            self.relax_backoff();
+        }
+    }
+
+    fn escalate_backoff(&mut self) {
+        self.backoff = (self.backoff + self.cfg.backoff_step).min(self.cfg.max_backoff);
+    }
+
+    fn relax_backoff(&mut self) {
+        self.backoff = self.backoff.saturating_sub(self.cfg.backoff_step);
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +373,91 @@ mod tests {
         assert!(single > 0.1 && single < 0.9, "single {single}");
         assert!(repeated > single, "repeated {repeated} vs single {single}");
         assert!(repeated > 0.85, "repeated {repeated}");
+    }
+
+    #[test]
+    fn copies_for_none_is_the_max_copies_cap() {
+        // The documented None case: even MAX_COPIES copies of p=0.01
+        // reach only ~14 %.
+        let all = RepeatPolicy {
+            copies: MAX_COPIES,
+            spacing: Duration::ZERO,
+        };
+        assert!(all.delivery_probability(0.01) < 0.9);
+    }
+
+    #[test]
+    fn budget_clamps_copies() {
+        let b = EnergyBudget {
+            per_message_uj_ceiling: 500.0,
+            per_copy_uj: 85.0,
+        };
+        assert_eq!(b.max_copies(), 5);
+        // Ceiling below one copy still sends the message itself.
+        let tight = EnergyBudget {
+            per_message_uj_ceiling: 10.0,
+            per_copy_uj: 85.0,
+        };
+        assert_eq!(tight.max_copies(), 1);
+        // A huge ceiling never exceeds MAX_COPIES.
+        let loose = EnergyBudget {
+            per_message_uj_ceiling: 1e9,
+            per_copy_uj: 85.0,
+        };
+        assert_eq!(loose.max_copies(), MAX_COPIES);
+    }
+
+    #[test]
+    fn feedback_raises_and_lowers_k_within_budget() {
+        let cfg = AdaptiveConfig::default();
+        let ceiling = cfg.budget.per_message_uj_ceiling;
+        let mut a = AdaptiveRepeat::new(cfg);
+        let base = a.policy().copies;
+        // Heavy loss: k rises, but energy stays under the ceiling.
+        a.record_feedback(0.8);
+        assert!(a.policy().copies > base);
+        assert!(a.energy_per_message_uj() <= ceiling);
+        // Total loss: target unreachable, spend the whole budget.
+        a.record_feedback(1.0);
+        assert_eq!(a.policy().copies, cfg.budget.max_copies());
+        assert!(a.energy_per_message_uj() <= ceiling);
+        // Channel recovers: back to base.
+        a.record_feedback(0.0);
+        assert_eq!(a.policy().copies, base);
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_symmetric() {
+        let cfg = AdaptiveConfig {
+            backoff_step: Duration::from_secs(5),
+            max_backoff: Duration::from_secs(20),
+            ..Default::default()
+        };
+        let mut a = AdaptiveRepeat::new(cfg);
+        for _ in 0..10 {
+            a.record_feedback(0.9);
+        }
+        assert_eq!(a.period_backoff(), Duration::from_secs(20));
+        for _ in 0..10 {
+            a.record_feedback(0.0);
+        }
+        assert_eq!(a.period_backoff(), Duration::ZERO);
+    }
+
+    #[test]
+    fn blind_ramp_tracks_carrier_sense() {
+        let mut a = AdaptiveRepeat::new(AdaptiveConfig::default());
+        let base = a.policy().copies;
+        let cap = AdaptiveConfig::default().budget.max_copies();
+        for _ in 0..30 {
+            a.observe_air_busy(true);
+        }
+        assert_eq!(a.policy().copies, cap);
+        for _ in 0..30 {
+            a.observe_air_busy(false);
+        }
+        assert_eq!(a.policy().copies, base);
+        assert_eq!(a.period_backoff(), Duration::ZERO);
     }
 
     #[test]

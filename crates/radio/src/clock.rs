@@ -63,6 +63,13 @@ impl DriftClock {
         self.ppm
     }
 
+    /// Shift the frequency error by `delta_ppm` (a temperature step or
+    /// a scheduled [`crate::plan::Disturbance::ClockSkew`] phase).
+    /// Call again with the negated delta when the step ends.
+    pub fn shift_ppm(&mut self, delta_ppm: f64) {
+        self.ppm += delta_ppm;
+    }
+
     /// Convert a nominal local duration to the true duration that
     /// elapses, applying drift and fresh jitter.
     pub fn true_duration(&mut self, nominal: Duration) -> Duration {

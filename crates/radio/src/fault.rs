@@ -1,5 +1,9 @@
 //! Fault injection, after smoltcp's example: random frame drops and
-//! single-octet corruption, applied between the medium and a receiver.
+//! single-**bit** corruption, applied between the medium and a receiver.
+//! A burst mode ([`CorruptionMode::Burst`]) scrambles a run of
+//! contiguous octets instead, modelling a co-channel collision that
+//! overlaps part of the frame; the campaign runner in `wile-scenarios`
+//! uses it for its interferer phases.
 //!
 //! Corrupted frames keep their (now wrong) FCS, so receivers exercising
 //! `wile_dot11::fcs::check_fcs` discard them exactly as hardware would.
@@ -14,8 +18,23 @@ pub enum FaultOutcome {
     Pass,
     /// Frame silently dropped.
     Dropped,
-    /// One octet was flipped.
+    /// The frame was damaged per the injector's [`CorruptionMode`].
     Corrupted,
+}
+
+/// How a corruption event damages a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionMode {
+    /// Flip exactly one random bit — a marginal-SNR symbol error.
+    SingleBit,
+    /// XOR-scramble up to `octets` contiguous octets starting at a
+    /// random offset — a partial overlap with another transmission.
+    /// Runs are clamped to the frame length; each damaged octet is
+    /// XORed with a non-zero random byte so it always changes.
+    Burst {
+        /// Maximum run length in octets (≥ 1).
+        octets: usize,
+    },
 }
 
 /// Random drop / corrupt injector with deterministic seeding.
@@ -23,9 +42,11 @@ pub enum FaultOutcome {
 pub struct FaultInjector {
     /// Probability in `[0,1]` that a frame is dropped.
     pub drop_chance: f64,
-    /// Probability in `[0,1]` that one octet of a surviving frame is
-    /// XOR-flipped.
+    /// Probability in `[0,1]` that a surviving frame is corrupted per
+    /// [`Self::corruption`].
     pub corrupt_chance: f64,
+    /// Damage applied to frames selected for corruption.
+    pub corruption: CorruptionMode,
     rng: StdRng,
 }
 
@@ -35,16 +56,32 @@ impl FaultInjector {
         FaultInjector {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
+            corruption: CorruptionMode::SingleBit,
             rng: StdRng::seed_from_u64(0),
         }
     }
 
-    /// An injector with the given probabilities and seed.
+    /// An injector with the given probabilities and seed, using the
+    /// default [`CorruptionMode::SingleBit`] damage.
     pub fn new(drop_chance: f64, corrupt_chance: f64, seed: u64) -> Self {
+        Self::with_mode(drop_chance, corrupt_chance, CorruptionMode::SingleBit, seed)
+    }
+
+    /// An injector with an explicit corruption mode.
+    pub fn with_mode(
+        drop_chance: f64,
+        corrupt_chance: f64,
+        corruption: CorruptionMode,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&drop_chance) && (0.0..=1.0).contains(&corrupt_chance));
+        if let CorruptionMode::Burst { octets } = corruption {
+            assert!(octets >= 1, "burst length must be at least one octet");
+        }
         FaultInjector {
             drop_chance,
             corrupt_chance,
+            corruption,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -56,9 +93,20 @@ impl FaultInjector {
         }
         if self.corrupt_chance > 0.0 && !frame.is_empty() && self.rng.gen_bool(self.corrupt_chance)
         {
-            let idx = self.rng.gen_range(0..frame.len());
-            let bit = 1u8 << self.rng.gen_range(0..8);
-            frame[idx] ^= bit;
+            match self.corruption {
+                CorruptionMode::SingleBit => {
+                    let idx = self.rng.gen_range(0..frame.len());
+                    let bit = 1u8 << self.rng.gen_range(0..8);
+                    frame[idx] ^= bit;
+                }
+                CorruptionMode::Burst { octets } => {
+                    let run = self.rng.gen_range(1..=octets.min(frame.len()));
+                    let start = self.rng.gen_range(0..=frame.len() - run);
+                    for b in &mut frame[start..start + run] {
+                        *b ^= self.rng.gen_range(1..=255u8);
+                    }
+                }
+            }
             return FaultOutcome::Corrupted;
         }
         FaultOutcome::Pass
@@ -138,5 +186,43 @@ mod tests {
     #[should_panic]
     fn invalid_probability_rejected() {
         FaultInjector::new(1.5, 0.0, 0);
+    }
+
+    #[test]
+    fn burst_mode_damages_contiguous_run() {
+        let mut inj = FaultInjector::with_mode(0.0, 1.0, CorruptionMode::Burst { octets: 8 }, 5);
+        let orig = vec![0u8; 64];
+        for _ in 0..200 {
+            let mut f = orig.clone();
+            assert_eq!(inj.apply(&mut f), FaultOutcome::Corrupted);
+            let changed: Vec<usize> = f
+                .iter()
+                .zip(&orig)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!changed.is_empty() && changed.len() <= 8, "{changed:?}");
+            // Every damaged octet changes, so the run is contiguous.
+            assert_eq!(
+                changed.last().unwrap() - changed.first().unwrap() + 1,
+                changed.len(),
+                "non-contiguous damage: {changed:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_mode_clamps_to_short_frames() {
+        let mut inj = FaultInjector::with_mode(0.0, 1.0, CorruptionMode::Burst { octets: 100 }, 6);
+        let mut f = vec![0u8; 3];
+        assert_eq!(inj.apply(&mut f), FaultOutcome::Corrupted);
+        assert!(f.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_burst_rejected() {
+        FaultInjector::with_mode(0.0, 0.5, CorruptionMode::Burst { octets: 0 }, 0);
     }
 }

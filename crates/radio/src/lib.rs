@@ -16,7 +16,11 @@
 //!   exercised through these.
 //! * [`medium`] — the broadcast medium: transmissions, propagation,
 //!   collisions with capture, per-receiver delivery.
-//! * [`fault`] — smoltcp-style fault injection (random drop/corrupt).
+//! * [`fault`] — smoltcp-style fault injection (random drop, single-bit
+//!   or burst corruption).
+//! * [`gilbert`] — Gilbert–Elliott two-state bursty loss channel.
+//! * [`plan`] — time-scheduled fault plans (interferers, jammers,
+//!   gateway outages, clock-skew steps) for robustness campaigns.
 //! * [`pcap`] — dump everything the medium carried to a libpcap file
 //!   (LINKTYPE_IEEE802_11) for inspection in Wireshark.
 
@@ -27,14 +31,18 @@ pub mod channel;
 pub mod clock;
 pub mod event;
 pub mod fault;
+pub mod gilbert;
 pub mod medium;
 pub mod pcap;
 pub mod per;
+pub mod plan;
 pub mod time;
 
 pub use channel::ChannelModel;
 pub use clock::DriftClock;
 pub use event::EventQueue;
-pub use fault::FaultInjector;
+pub use fault::{CorruptionMode, FaultInjector, FaultOutcome};
+pub use gilbert::{ChannelState, GilbertElliott};
 pub use medium::{Medium, RadioConfig, RadioId, RxFrame};
+pub use plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
 pub use time::{Duration, Instant};

@@ -1,0 +1,505 @@
+//! Time-scheduled fault plans: phased disturbances for robustness
+//! campaigns.
+//!
+//! A [`FaultPlan`] is an ordered list of non-overlapping
+//! [`FaultPhase`]s, each activating one [`Disturbance`] for a time
+//! window. [`FaultTimeline`] is the stateful, seeded applier a
+//! simulation drives: hand it every frame's on-air instant and it
+//! answers deterministically whether the frame survived, whether the
+//! gateway is in an outage window, how much extra clock skew devices
+//! experience, and whether the air currently looks busy to a
+//! carrier-sensing device.
+//!
+//! Everything derives from the plan's single seed plus the phase index,
+//! so two runs of the same plan produce byte-identical fault sequences
+//! regardless of what else the simulation does between calls.
+
+use crate::fault::{CorruptionMode, FaultInjector, FaultOutcome};
+use crate::gilbert::GilbertElliott;
+use crate::time::{Duration, Instant};
+
+/// One kind of channel or infrastructure disturbance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disturbance {
+    /// A periodic foreign transmitter (e.g. a Wi-Fi camera uplink):
+    /// every `period` it holds the air for `airtime`. Frames
+    /// overlapping a burst are burst-corrupted rather than cleanly
+    /// lost — the collision destroys part of the frame and the FCS
+    /// catches it.
+    Interferer {
+        /// Burst repetition period.
+        period: Duration,
+        /// Air occupancy per burst.
+        airtime: Duration,
+        /// Octets scrambled in an overlapped frame.
+        corrupt_octets: usize,
+    },
+    /// A duty-cycled wide-band jammer: `on` out of every `cycle` the
+    /// air is unusable and any frame on it is lost outright.
+    Jammer {
+        /// Full on+off cycle length.
+        cycle: Duration,
+        /// Leading portion of each cycle the jammer transmits.
+        on: Duration,
+    },
+    /// The gateway is down (reboot, backhaul loss): nothing it would
+    /// have received in the window is delivered.
+    GatewayOutage,
+    /// Device oscillators run an extra `extra_ppm` fast for the phase
+    /// (temperature step); the simulation applies it via
+    /// `DriftClock::shift_ppm`.
+    ClockSkew {
+        /// Additional frequency error in parts per million.
+        extra_ppm: f64,
+    },
+    /// Bursty loss: a Gilbert–Elliott chain with the given mean dwell
+    /// times, lossless Good state and `loss_bad` loss while Bad.
+    BurstLoss {
+        /// Mean dwell in the Good state.
+        good_dwell: Duration,
+        /// Mean dwell in the Bad (burst) state.
+        bad_dwell: Duration,
+        /// Loss probability while Bad.
+        loss_bad: f64,
+    },
+    /// Independent (Bernoulli) loss at probability `p` per frame.
+    RandomLoss {
+        /// Per-frame loss probability.
+        p: f64,
+    },
+}
+
+impl Disturbance {
+    /// Short lowercase tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Disturbance::Interferer { .. } => "interferer",
+            Disturbance::Jammer { .. } => "jammer",
+            Disturbance::GatewayOutage => "outage",
+            Disturbance::ClockSkew { .. } => "clock-skew",
+            Disturbance::BurstLoss { .. } => "burst-loss",
+            Disturbance::RandomLoss { .. } => "random-loss",
+        }
+    }
+}
+
+/// One disturbance active over `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPhase {
+    /// Phase start (inclusive).
+    pub start: Instant,
+    /// Phase end (exclusive).
+    pub end: Instant,
+    /// What happens during the phase.
+    pub disturbance: Disturbance,
+    /// Human-readable label for reports.
+    pub label: String,
+}
+
+impl FaultPhase {
+    /// A phase spanning `[start, end)`.
+    pub fn new(
+        start: Instant,
+        end: Instant,
+        disturbance: Disturbance,
+        label: impl Into<String>,
+    ) -> Self {
+        FaultPhase {
+            start,
+            end,
+            disturbance,
+            label: label.into(),
+        }
+    }
+
+    /// Whether `at` falls inside the phase.
+    pub fn contains(&self, at: Instant) -> bool {
+        at >= self.start && at < self.end
+    }
+}
+
+/// An ordered, validated schedule of disturbances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    phases: Vec<FaultPhase>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Build a plan. Phases must be well-formed (`start < end`),
+    /// sorted by start time, and non-overlapping — overlap would make
+    /// per-phase attribution in campaign reports ambiguous.
+    pub fn new(phases: Vec<FaultPhase>, seed: u64) -> Self {
+        for (i, p) in phases.iter().enumerate() {
+            assert!(
+                p.start < p.end,
+                "phase {i} ({}) is empty or inverted",
+                p.label
+            );
+            match &p.disturbance {
+                Disturbance::Interferer {
+                    period,
+                    airtime,
+                    corrupt_octets,
+                } => {
+                    assert!(
+                        *airtime <= *period && *airtime > Duration::ZERO,
+                        "phase {i}: interferer airtime must be in (0, period]"
+                    );
+                    assert!(*corrupt_octets >= 1, "phase {i}: zero-octet corruption");
+                }
+                Disturbance::Jammer { cycle, on } => {
+                    assert!(
+                        *on <= *cycle && *on > Duration::ZERO,
+                        "phase {i}: jammer on-time must be in (0, cycle]"
+                    );
+                }
+                Disturbance::RandomLoss { p: prob } => {
+                    assert!((0.0..=1.0).contains(prob), "phase {i}: loss p out of range");
+                }
+                Disturbance::BurstLoss { loss_bad, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(loss_bad),
+                        "phase {i}: loss_bad out of range"
+                    );
+                }
+                Disturbance::GatewayOutage | Disturbance::ClockSkew { .. } => {}
+            }
+        }
+        for w in phases.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "phases '{}' and '{}' overlap or are out of order",
+                w[0].label,
+                w[1].label
+            );
+        }
+        FaultPlan { phases, seed }
+    }
+
+    /// The phases, in schedule order.
+    pub fn phases(&self) -> &[FaultPhase] {
+        &self.phases
+    }
+
+    /// The plan's seed (all per-phase randomness derives from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Index of the phase covering `at`, if any.
+    pub fn phase_index(&self, at: Instant) -> Option<usize> {
+        self.phases.iter().position(|p| p.contains(at))
+    }
+
+    /// End of the last phase (`Instant::ZERO` for an empty plan).
+    pub fn end(&self) -> Instant {
+        self.phases.last().map(|p| p.end).unwrap_or(Instant::ZERO)
+    }
+}
+
+/// Per-phase mutable state (loss chains, corruptors), split out so the
+/// timeline can be rebuilt from its plan for a reproducibility check.
+#[derive(Debug, Clone)]
+enum PhaseState {
+    Chain(GilbertElliott),
+    Bernoulli(FaultInjector),
+    Corruptor(FaultInjector),
+    Passive,
+}
+
+/// The stateful applier for a [`FaultPlan`].
+///
+/// Call sites must present frames in non-decreasing time order (the
+/// same discipline [`crate::medium::Medium`] already imposes) so the
+/// per-phase loss chains advance monotonically.
+#[derive(Debug, Clone)]
+pub struct FaultTimeline {
+    plan: FaultPlan,
+    states: Vec<PhaseState>,
+}
+
+impl FaultTimeline {
+    /// Instantiate per-phase state from the plan and its seed.
+    pub fn new(plan: FaultPlan) -> Self {
+        let seed = plan.seed();
+        let states = plan
+            .phases()
+            .iter()
+            .enumerate()
+            .map(|(i, phase)| {
+                // Distinct, stable stream per phase.
+                let phase_seed = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                match &phase.disturbance {
+                    Disturbance::BurstLoss {
+                        good_dwell,
+                        bad_dwell,
+                        loss_bad,
+                    } => {
+                        let mut chain =
+                            GilbertElliott::from_dwell_times(*good_dwell, *bad_dwell, phase_seed);
+                        chain.loss_bad = *loss_bad;
+                        PhaseState::Chain(chain)
+                    }
+                    Disturbance::RandomLoss { p } => {
+                        PhaseState::Bernoulli(FaultInjector::new(*p, 0.0, phase_seed))
+                    }
+                    Disturbance::Interferer { corrupt_octets, .. } => {
+                        PhaseState::Corruptor(FaultInjector::with_mode(
+                            0.0,
+                            1.0,
+                            CorruptionMode::Burst {
+                                octets: *corrupt_octets,
+                            },
+                            phase_seed,
+                        ))
+                    }
+                    _ => PhaseState::Passive,
+                }
+            })
+            .collect();
+        FaultTimeline { plan, states }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Apply the disturbance (if any) active at `at` to a frame on the
+    /// air at that instant. Mutates `frame` in the interferer-overlap
+    /// case exactly like [`FaultInjector::apply`].
+    pub fn apply(&mut self, at: Instant, frame: &mut [u8]) -> FaultOutcome {
+        let Some(idx) = self.plan.phase_index(at) else {
+            return FaultOutcome::Pass;
+        };
+        let phase_start = self.plan.phases()[idx].start;
+        match (&self.plan.phases[idx].disturbance, &mut self.states[idx]) {
+            (Disturbance::Jammer { cycle, on }, _) => {
+                if in_duty_window(at, phase_start, *cycle, *on) {
+                    FaultOutcome::Dropped
+                } else {
+                    FaultOutcome::Pass
+                }
+            }
+            (
+                Disturbance::Interferer {
+                    period, airtime, ..
+                },
+                PhaseState::Corruptor(inj),
+            ) => {
+                if in_duty_window(at, phase_start, *period, *airtime) {
+                    inj.apply(frame)
+                } else {
+                    FaultOutcome::Pass
+                }
+            }
+            (Disturbance::BurstLoss { .. }, PhaseState::Chain(chain)) => {
+                if chain.frame_lost(at) {
+                    FaultOutcome::Dropped
+                } else {
+                    FaultOutcome::Pass
+                }
+            }
+            (Disturbance::RandomLoss { .. }, PhaseState::Bernoulli(inj)) => inj.apply(frame),
+            _ => FaultOutcome::Pass,
+        }
+    }
+
+    /// Whether the gateway is inside an outage window at `at`.
+    pub fn gateway_down(&self, at: Instant) -> bool {
+        matches!(
+            self.plan
+                .phase_index(at)
+                .map(|i| &self.plan.phases()[i].disturbance),
+            Some(Disturbance::GatewayOutage)
+        )
+    }
+
+    /// Extra oscillator skew (ppm) in force at `at`.
+    pub fn skew_ppm(&self, at: Instant) -> f64 {
+        match self
+            .plan
+            .phase_index(at)
+            .map(|i| &self.plan.phases()[i].disturbance)
+        {
+            Some(Disturbance::ClockSkew { extra_ppm }) => *extra_ppm,
+            _ => 0.0,
+        }
+    }
+
+    /// Whether a carrier-sensing device would find the air occupied at
+    /// `at` (jammer on, or inside an interferer burst). This is the
+    /// signal blind adaptation keys off when no feedback is available.
+    pub fn air_busy(&self, at: Instant) -> bool {
+        let Some(idx) = self.plan.phase_index(at) else {
+            return false;
+        };
+        let phase = &self.plan.phases()[idx];
+        match &phase.disturbance {
+            Disturbance::Jammer { cycle, on } => in_duty_window(at, phase.start, *cycle, *on),
+            Disturbance::Interferer {
+                period, airtime, ..
+            } => in_duty_window(at, phase.start, *period, *airtime),
+            _ => false,
+        }
+    }
+}
+
+/// Whether `at` falls in the leading `on` portion of the `cycle`-length
+/// duty cycle anchored at `anchor`.
+fn in_duty_window(at: Instant, anchor: Instant, cycle: Duration, on: Duration) -> bool {
+    let elapsed = at.since(anchor).as_nanos();
+    elapsed % cycle.as_nanos() < on.as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> Instant {
+        Instant::ZERO + Duration::from_secs(s)
+    }
+
+    fn demo_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(
+            vec![
+                FaultPhase::new(
+                    secs(10),
+                    secs(20),
+                    Disturbance::Jammer {
+                        cycle: Duration::from_ms(100),
+                        on: Duration::from_ms(50),
+                    },
+                    "jam",
+                ),
+                FaultPhase::new(
+                    secs(30),
+                    secs(40),
+                    Disturbance::BurstLoss {
+                        good_dwell: Duration::from_ms(400),
+                        bad_dwell: Duration::from_ms(200),
+                        loss_bad: 1.0,
+                    },
+                    "burst",
+                ),
+                FaultPhase::new(secs(50), secs(55), Disturbance::GatewayOutage, "down"),
+                FaultPhase::new(
+                    secs(60),
+                    secs(70),
+                    Disturbance::ClockSkew { extra_ppm: 40.0 },
+                    "skew",
+                ),
+            ],
+            seed,
+        )
+    }
+
+    #[test]
+    fn quiet_gaps_pass_everything() {
+        let mut tl = FaultTimeline::new(demo_plan(1));
+        let mut f = vec![0u8; 32];
+        for s in [0, 5, 25, 45, 58, 75] {
+            assert_eq!(tl.apply(secs(s), &mut f), FaultOutcome::Pass, "t={s}s");
+        }
+        assert_eq!(f, vec![0u8; 32]);
+    }
+
+    #[test]
+    fn jammer_duty_cycle_is_exact() {
+        let mut tl = FaultTimeline::new(demo_plan(1));
+        let mut f = vec![0u8; 8];
+        // 10 ms into a 100 ms cycle with 50 ms on → jammed.
+        let jammed = secs(10) + Duration::from_ms(10);
+        assert_eq!(tl.apply(jammed, &mut f), FaultOutcome::Dropped);
+        assert!(tl.air_busy(jammed));
+        // 60 ms into the cycle → clear.
+        let clear = secs(10) + Duration::from_ms(60);
+        assert_eq!(tl.apply(clear, &mut f), FaultOutcome::Pass);
+        assert!(!tl.air_busy(clear));
+    }
+
+    #[test]
+    fn burst_phase_loses_roughly_stationary_fraction() {
+        let mut tl = FaultTimeline::new(demo_plan(2));
+        let mut lost = 0;
+        let n = 4000;
+        for i in 0..n {
+            // Spread frames across the 10 s burst phase.
+            let at = secs(30) + Duration::from_us(i * 2_500);
+            let mut f = vec![0u8; 8];
+            if tl.apply(at, &mut f) == FaultOutcome::Dropped {
+                lost += 1;
+            }
+        }
+        let rate = lost as f64 / n as f64;
+        // Stationary: 200/(400+200) = 1/3 of time Bad, loss_bad = 1.
+        assert!((rate - 1.0 / 3.0).abs() < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn outage_and_skew_windows() {
+        let tl = FaultTimeline::new(demo_plan(3));
+        assert!(tl.gateway_down(secs(52)));
+        assert!(!tl.gateway_down(secs(49)));
+        assert!((tl.skew_ppm(secs(65)) - 40.0).abs() < f64::EPSILON);
+        assert_eq!(tl.skew_ppm(secs(52)), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let run = |seed| {
+            let mut tl = FaultTimeline::new(demo_plan(seed));
+            (0..2000u64)
+                .map(|i| {
+                    let mut f = vec![0u8; 16];
+                    tl.apply(secs(0) + Duration::from_ms(i * 40), &mut f)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlapping_phases_rejected() {
+        FaultPlan::new(
+            vec![
+                FaultPhase::new(secs(0), secs(10), Disturbance::GatewayOutage, "a"),
+                FaultPhase::new(secs(5), secs(15), Disturbance::GatewayOutage, "b"),
+            ],
+            0,
+        );
+    }
+
+    #[test]
+    fn interferer_corrupts_overlapping_frames() {
+        let plan = FaultPlan::new(
+            vec![FaultPhase::new(
+                secs(0),
+                secs(100),
+                Disturbance::Interferer {
+                    period: Duration::from_ms(100),
+                    airtime: Duration::from_ms(20),
+                    corrupt_octets: 6,
+                },
+                "cam",
+            )],
+            4,
+        );
+        let mut tl = FaultTimeline::new(plan);
+        let mut hit = vec![0u8; 32];
+        assert_eq!(
+            tl.apply(secs(1) + Duration::from_ms(5), &mut hit),
+            FaultOutcome::Corrupted
+        );
+        assert!(hit.iter().any(|&b| b != 0));
+        let mut miss = vec![0u8; 32];
+        assert_eq!(
+            tl.apply(secs(1) + Duration::from_ms(50), &mut miss),
+            FaultOutcome::Pass
+        );
+        assert_eq!(miss, vec![0u8; 32]);
+    }
+}

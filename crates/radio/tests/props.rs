@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 use wile_radio::channel::ChannelModel;
 use wile_radio::clock::DriftClock;
+use wile_radio::gilbert::GilbertElliott;
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::per::packet_error_rate;
 use wile_radio::time::{Duration, Instant};
@@ -122,6 +123,34 @@ proptest! {
         for w in got.windows(2) {
             prop_assert!(w[0].at <= w[1].at);
         }
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_loss_matches_closed_form(
+        p_enter in 0.05f64..0.5,
+        p_exit in 0.05f64..0.5,
+        loss_good in 0.0f64..0.2,
+        loss_bad in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut ge = GilbertElliott::new(
+            p_enter, p_exit, loss_good, loss_bad, Duration::from_ms(1), seed,
+        );
+        let n = 100_000usize;
+        let lost = (0..n).filter(|_| ge.next_frame()).count();
+        let measured = lost as f64 / n as f64;
+        let expected = ge.stationary_loss();
+        // The samples are Markov-correlated: the asymptotic variance of
+        // the occupancy fraction is pi(1-pi) * (2/(p_enter+p_exit) - 1)
+        // / n; loss indicators add at most Bernoulli noise on top.
+        let pi = ge.stationary_bad();
+        let occupancy_var = pi * (1.0 - pi) * (2.0 / (p_enter + p_exit) - 1.0) / n as f64;
+        let bernoulli_var = expected * (1.0 - expected) / n as f64;
+        let tol = 6.0 * (occupancy_var + bernoulli_var).sqrt() + 1e-3;
+        prop_assert!(
+            (measured - expected).abs() <= tol,
+            "measured {measured:.4} vs closed form {expected:.4} (tol {tol:.4})"
+        );
     }
 
     #[test]

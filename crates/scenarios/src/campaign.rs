@@ -1,0 +1,746 @@
+//! Fault-injection campaigns: a fleet driven through a scheduled fault
+//! timeline, measuring robustness and what adaptation buys.
+//!
+//! A campaign runs N periodic Wi-LE devices against one gateway while a
+//! [`FaultPlan`] disturbs the world in phases — bursty loss, duty-cycled
+//! jammers, interferer bursts, gateway outages, clock-skew steps. The
+//! runner reports, per fault phase: delivery ratio, recovery time after
+//! the disturbance ends, and the energy cost per message — so the
+//! adaptive repeat policy ([`wile::reliability::AdaptiveRepeat`]) can be
+//! compared head-to-head against a static baseline on the same seeded
+//! timeline.
+//!
+//! ## Determinism and event ordering
+//!
+//! [`wile_radio::Medium`] requires transmissions in non-decreasing
+//! on-air order. Every wake (first copies and repeats alike) is a
+//! separate event, and the ESP32 model's wake → on-air latency is a
+//! deterministic constant, so processing events in wake-time order
+//! yields on-air times in the same order. The only other transmitter is
+//! the gateway's feedback reply, which lands microseconds after the
+//! beacon that solicited it; a guard skips the two-way exchange whenever
+//! another event is scheduled inside that exchange's window.
+//!
+//! Channel faults are applied gateway-side: frames are pulled raw from
+//! the medium, run through the seeded [`FaultTimeline`] keyed by their
+//! arrival instant, and only survivors reach [`Gateway::ingest`]. Two
+//! runs with the same config therefore produce byte-identical reports.
+
+use std::collections::HashSet;
+use wile::inject::{InjectReport, Injector};
+use wile::linkhealth::{LinkHealthConfig, LinkStatus};
+use wile::message::Message;
+use wile::monitor::{Gateway, Received};
+use wile::registry::DeviceIdentity;
+use wile::reliability::{AdaptiveConfig, AdaptiveRepeat, RepeatPolicy};
+use wile::twoway::RxWindow;
+use wile_instrument::energy::energy_mj;
+use wile_radio::clock::DriftClock;
+use wile_radio::fault::FaultOutcome;
+use wile_radio::medium::{Medium, RadioConfig, RadioId, TxParams};
+use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
+use wile_radio::time::{Duration, Instant};
+use wile_radio::EventQueue;
+
+/// Magic prefix of the gateway's loss-report downlink frame.
+const FEEDBACK_MAGIC: [u8; 4] = *b"WLFB";
+/// Receive window announced by two-way (feedback) beacons.
+const FEEDBACK_WINDOW: RxWindow = RxWindow {
+    offset_us: 300,
+    length_us: 2_000,
+};
+/// Minimum clearance to the next scheduled event for a two-way exchange
+/// to proceed (the exchange occupies ~3 ms after the beacon).
+const TWOWAY_GUARD: Duration = Duration::from_ms(10);
+
+/// How devices choose their repeat policy during the campaign.
+#[derive(Debug, Clone)]
+pub enum AdaptMode {
+    /// Fixed policy for the whole run (the baseline).
+    Static(RepeatPolicy),
+    /// Adaptive, driven by gateway loss reports received through a
+    /// two-way window on every `every`-th message.
+    Feedback {
+        /// Adaptation tuning (targets, budget, backoff bounds).
+        cfg: AdaptiveConfig,
+        /// Open a feedback window on every `every`-th message (≥ 1).
+        every: u32,
+    },
+    /// Adaptive with no return path: ramp on the device's own carrier
+    /// sense only.
+    Blind(AdaptiveConfig),
+}
+
+impl AdaptMode {
+    fn describe(&self) -> String {
+        match self {
+            AdaptMode::Static(p) => format!("static k={}", p.copies),
+            AdaptMode::Feedback { cfg, every } => format!(
+                "adaptive/feedback (target {:.0}%, budget {:.0} µJ, every {} msgs)",
+                cfg.target_delivery * 100.0,
+                cfg.budget.per_message_uj_ceiling,
+                every
+            ),
+            AdaptMode::Blind(cfg) => format!(
+                "adaptive/blind (budget {:.0} µJ)",
+                cfg.budget.per_message_uj_ceiling
+            ),
+        }
+    }
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Fleet size; devices sit on a circle around the gateway.
+    pub devices: usize,
+    /// Circle radius, metres.
+    pub radius_m: f64,
+    /// Nominal per-device message period.
+    pub period: Duration,
+    /// Wake-to-wake gap between repeat copies of one message. Must be
+    /// large enough to decorrelate copies from one loss burst.
+    pub copy_spacing: Duration,
+    /// Campaign length (messages stop being scheduled past this).
+    pub duration: Duration,
+    /// The disturbance schedule.
+    pub plan: FaultPlan,
+    /// Master seed (medium + clocks; the plan carries its own).
+    pub seed: u64,
+    /// Repeat-policy regime under test.
+    pub mode: AdaptMode,
+    /// Gateway link-health tuning.
+    pub link: LinkHealthConfig,
+    /// Gateway poll cadence.
+    pub poll_every: Duration,
+}
+
+impl CampaignConfig {
+    /// The demonstration campaign EXPERIMENTS.md's E8 row uses: four
+    /// devices on a 6 s period running through a clean lead-in, a long
+    /// bursty-loss phase, a duty-cycled jammer, a gateway outage, and a
+    /// thermal clock-skew step.
+    ///
+    /// Copy spacing is 550 ms — just over one full wake cycle (each
+    /// repeat copy reboots the ESP32, ~490 ms) and wider than the burst
+    /// channel's 350 ms bad-state dwell, so a copy train straddles loss
+    /// bursts instead of dying inside one.
+    pub fn demo(seed: u64, mode: AdaptMode) -> Self {
+        let s = |sec: u64| Instant::from_secs(sec);
+        let plan = FaultPlan::new(
+            vec![
+                FaultPhase::new(
+                    s(40),
+                    s(240),
+                    Disturbance::BurstLoss {
+                        good_dwell: Duration::from_ms(150),
+                        bad_dwell: Duration::from_ms(350),
+                        loss_bad: 1.0,
+                    },
+                    "2.4GHz burst interference",
+                ),
+                FaultPhase::new(
+                    s(260),
+                    s(320),
+                    Disturbance::Jammer {
+                        cycle: Duration::from_ms(500),
+                        on: Duration::from_ms(200),
+                    },
+                    "duty-cycled jammer",
+                ),
+                FaultPhase::new(s(340), s(360), Disturbance::GatewayOutage, "gateway reboot"),
+                FaultPhase::new(
+                    s(370),
+                    s(390),
+                    Disturbance::ClockSkew { extra_ppm: 60.0 },
+                    "thermal clock step",
+                ),
+            ],
+            seed ^ 0xFA17,
+        );
+        CampaignConfig {
+            devices: 4,
+            radius_m: 3.0,
+            period: Duration::from_secs(6),
+            copy_spacing: Duration::from_ms(550),
+            duration: Duration::from_secs(400),
+            plan,
+            seed,
+            mode,
+            link: LinkHealthConfig::default(),
+            poll_every: Duration::from_ms(500),
+        }
+    }
+}
+
+/// Outcome of one fault phase (or the fault-free remainder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseOutcome {
+    /// The phase label (or "(clear)" for unphased time).
+    pub label: String,
+    /// Disturbance tag (or "-" for clear time).
+    pub tag: String,
+    /// Messages whose first copy went on air inside the phase.
+    pub sent: u64,
+    /// Of those, messages the gateway delivered (any copy).
+    pub delivered: u64,
+    /// Time from phase end until every device had a delivery again
+    /// (None: some device never recovered before the horizon, or the
+    /// phase had no end inside the run).
+    pub recovery: Option<Duration>,
+}
+
+impl PhaseOutcome {
+    /// Delivery ratio within the phase (1.0 for an empty phase).
+    pub fn ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+/// Everything a campaign run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Human description of the policy regime.
+    pub mode: String,
+    /// Master seed the run used.
+    pub seed: u64,
+    /// Fleet size.
+    pub devices: usize,
+    /// Per-phase outcomes, in schedule order, with the clear-time
+    /// bucket last.
+    pub phases: Vec<PhaseOutcome>,
+    /// Total messages (not copies) whose first copy went on air.
+    pub messages_sent: u64,
+    /// Messages delivered (any copy).
+    pub messages_delivered: u64,
+    /// Total beacon copies transmitted.
+    pub copies_sent: u64,
+    /// Feedback exchanges that completed (device heard a loss report).
+    pub feedback_received: u64,
+    /// Mean measured tx-window energy per message, µJ (copies × the
+    /// §5.4 per-packet window; receive-window listening excluded).
+    pub energy_uj_per_message: f64,
+    /// Final per-device `(id, gateway loss estimate, status)`, sorted.
+    pub device_health: Vec<(u32, f64, LinkStatus)>,
+    /// Devices the gateway evicted as stale during the run, sorted.
+    pub evicted: Vec<u32>,
+}
+
+impl CampaignReport {
+    /// Overall message delivery ratio.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Mean copies per message.
+    pub fn avg_copies(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.copies_sent as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// The outcome of the first phase with the given disturbance tag.
+    pub fn phase(&self, tag: &str) -> Option<&PhaseOutcome> {
+        self.phases.iter().find(|p| p.tag == tag)
+    }
+
+    /// Deterministic text rendering (byte-identical for equal seeds).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "fault campaign — {} devices, seed {}, policy: {}\n",
+            self.devices, self.seed, self.mode
+        ));
+        s.push_str(&format!(
+            "messages {}/{} delivered ({:.1}%), {:.2} copies/msg, {:.1} µJ/msg, {} feedback rounds\n",
+            self.messages_delivered,
+            self.messages_sent,
+            self.delivery_ratio() * 100.0,
+            self.avg_copies(),
+            self.energy_uj_per_message,
+            self.feedback_received,
+        ));
+        s.push_str("phase                          sent  delv  ratio    recovery\n");
+        for p in &self.phases {
+            let rec = match p.recovery {
+                Some(d) => format!("{:.2} s", d.as_secs_f64()),
+                None => "-".to_string(),
+            };
+            s.push_str(&format!(
+                "{:<28} {:>6} {:>5} {:>6.1}%  {:>8}\n",
+                p.label,
+                p.sent,
+                p.delivered,
+                p.ratio() * 100.0,
+                rec
+            ));
+        }
+        for (id, loss, status) in &self.device_health {
+            s.push_str(&format!(
+                "device {:>3}: loss estimate {:>5.1}%  {:?}\n",
+                id,
+                loss * 100.0,
+                status
+            ));
+        }
+        if !self.evicted.is_empty() {
+            s.push_str(&format!("evicted: {:?}\n", self.evicted));
+        }
+        s
+    }
+}
+
+/// One device's runtime state.
+struct Dev {
+    inj: Injector,
+    radio: RadioId,
+    clock: DriftClock,
+    adaptive: Option<AdaptiveRepeat>,
+    static_policy: RepeatPolicy,
+    applied_skew_ppm: f64,
+    msg_count: u64,
+    reports: Vec<InjectReport>,
+    /// (seq, wake time of first copy) per message.
+    msgs: Vec<(u16, Instant)>,
+    /// Arrival times of this device's delivered messages, in order.
+    arrivals: Vec<Instant>,
+    feedback_received: u64,
+}
+
+impl Dev {
+    fn policy(&self) -> RepeatPolicy {
+        match &self.adaptive {
+            Some(a) => a.policy(),
+            None => self.static_policy,
+        }
+    }
+}
+
+enum Ev {
+    /// Start of a message round for device `i`.
+    Msg(usize),
+    /// One repeat copy of an in-flight message.
+    Copy { dev: usize, seq: u16 },
+    /// Periodic gateway poll.
+    Poll,
+}
+
+/// Pull raw frames from the gateway radio, apply the fault timeline,
+/// and feed survivors through the gateway pipeline.
+fn drain_gateway(
+    medium: &mut Medium,
+    gw_radio: RadioId,
+    up_to: Instant,
+    tl: &mut FaultTimeline,
+    gw: &mut Gateway,
+) -> Vec<Received> {
+    let mut survivors = Vec::new();
+    for mut f in medium.take_inbox(gw_radio, up_to) {
+        if tl.gateway_down(f.at) {
+            continue;
+        }
+        if tl.apply(f.at, &mut f.bytes) == FaultOutcome::Dropped {
+            continue;
+        }
+        // Corrupted frames pass through — the gateway's FCS check is
+        // the component under test for those.
+        survivors.push(f);
+    }
+    gw.ingest(survivors)
+}
+
+const PAYLOAD: &[u8] = b"reading";
+
+/// Run one campaign.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    assert!(cfg.devices >= 1);
+    // The ESP32 wake → on-air latency is a deterministic constant;
+    // measure it once so phase attribution can reason in on-air time.
+    let (latency, cycle) = wake_to_air_latency();
+    assert!(
+        cfg.copy_spacing >= cycle,
+        "copy spacing {} is shorter than the full wake cycle {} — the \
+         device cannot finish one copy before the next is due",
+        cfg.copy_spacing,
+        cycle
+    );
+    assert!(
+        cfg.period > cfg.copy_spacing.mul(super_max_copies(&cfg.mode) as u64),
+        "period too short for the worst-case copy train"
+    );
+
+    let mut medium = Medium::new(Default::default(), cfg.seed);
+    let gw_radio = medium.attach(RadioConfig::default());
+    let mut gw = Gateway::with_link_health(cfg.link);
+    let mut tl = FaultTimeline::new(cfg.plan.clone());
+
+    let mut devs: Vec<Dev> = (0..cfg.devices)
+        .map(|i| {
+            let angle = i as f64 / cfg.devices as f64 * std::f64::consts::TAU;
+            let radio = medium.attach(RadioConfig {
+                position_m: (cfg.radius_m * angle.cos(), cfg.radius_m * angle.sin()),
+                ..Default::default()
+            });
+            let adaptive = match &cfg.mode {
+                AdaptMode::Static(_) => None,
+                AdaptMode::Feedback { cfg: a, .. } | AdaptMode::Blind(a) => {
+                    Some(AdaptiveRepeat::new(*a))
+                }
+            };
+            let static_policy = match &cfg.mode {
+                AdaptMode::Static(p) => *p,
+                _ => RepeatPolicy::SINGLE,
+            };
+            Dev {
+                inj: Injector::new(DeviceIdentity::new(i as u32 + 1), Instant::ZERO),
+                radio,
+                clock: DriftClock::iot_grade(cfg.seed.wrapping_add(i as u64 * 7919)),
+                adaptive,
+                static_policy,
+                applied_skew_ppm: 0.0,
+                msg_count: 0,
+                reports: Vec::new(),
+                msgs: Vec::new(),
+                arrivals: Vec::new(),
+                feedback_received: 0,
+            }
+        })
+        .collect();
+
+    let end = Instant::ZERO + cfg.duration;
+    let horizon = end + cfg.period + Duration::from_secs(2);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for i in 0..cfg.devices {
+        queue.schedule(
+            Instant::from_secs(1) + Duration::from_ms(137 * i as u64),
+            Ev::Msg(i),
+        );
+    }
+    let mut poll_at = Instant::ZERO + cfg.poll_every;
+    while poll_at < horizon {
+        queue.schedule(poll_at, Ev::Poll);
+        poll_at += cfg.poll_every;
+    }
+    queue.schedule(horizon, Ev::Poll);
+
+    let mut delivered: HashSet<(u32, u16)> = HashSet::new();
+    let mut evicted: Vec<u32> = Vec::new();
+    let mut record = |devs: &mut Vec<Dev>, got: Vec<Received>| {
+        for r in got {
+            let idx = (r.device_id - 1) as usize;
+            if delivered.insert((r.device_id, r.seq)) {
+                devs[idx].arrivals.push(r.at);
+            }
+        }
+    };
+
+    while let Some((t, ev)) = queue.pop() {
+        match ev {
+            Ev::Poll => {
+                let got = drain_gateway(&mut medium, gw_radio, t, &mut tl, &mut gw);
+                record(&mut devs, got);
+                if let Some(h) = gw.link_health_mut() {
+                    evicted.extend(h.evict_stale(t));
+                }
+            }
+            Ev::Copy { dev, seq } => {
+                let d = &mut devs[dev];
+                d.inj.sleep_until(t);
+                let msg = Message::new(dev as u32 + 1, seq, PAYLOAD);
+                let rep = d.inj.inject_message(&mut medium, d.radio, &msg);
+                d.reports.push(rep);
+            }
+            Ev::Msg(dev) => {
+                if t > end {
+                    continue;
+                }
+                // Clock-skew phases shift the oscillator while active.
+                let want_skew = tl.skew_ppm(t);
+                if want_skew != devs[dev].applied_skew_ppm {
+                    let delta = want_skew - devs[dev].applied_skew_ppm;
+                    devs[dev].clock.shift_ppm(delta);
+                    devs[dev].applied_skew_ppm = want_skew;
+                }
+                // Blind adaptation samples carrier sense at wake.
+                if matches!(cfg.mode, AdaptMode::Blind(_)) {
+                    let busy = tl.air_busy(t);
+                    devs[dev].adaptive.as_mut().unwrap().observe_air_busy(busy);
+                }
+                let policy = devs[dev].policy();
+                let wants_feedback = match &cfg.mode {
+                    AdaptMode::Feedback { every, .. } => {
+                        devs[dev].msg_count.is_multiple_of((*every).max(1) as u64)
+                    }
+                    _ => false,
+                };
+                // The two-way exchange transmits a gateway reply just
+                // after the beacon; skip it if any other event lands
+                // inside that window (transmit order must stay
+                // monotone).
+                let clear_air = match queue.peek_time() {
+                    Some(next) => next >= t + TWOWAY_GUARD,
+                    None => true,
+                };
+                devs[dev].msg_count += 1;
+
+                let seq = if wants_feedback && clear_air {
+                    let (seq, got) = run_feedback_round(
+                        &mut devs[dev],
+                        &mut medium,
+                        gw_radio,
+                        &mut gw,
+                        &mut tl,
+                        t,
+                    );
+                    record(&mut devs, got);
+                    seq
+                } else {
+                    let d = &mut devs[dev];
+                    d.inj.sleep_until(t);
+                    let rep = d.inj.inject(&mut medium, d.radio, PAYLOAD);
+                    let seq = rep.seq;
+                    d.reports.push(rep);
+                    seq
+                };
+                devs[dev].msgs.push((seq, t));
+                for j in 1..policy.copies {
+                    queue.schedule(t + cfg.copy_spacing.mul(j as u64), Ev::Copy { dev, seq });
+                }
+                let backoff = devs[dev]
+                    .adaptive
+                    .as_ref()
+                    .map(|a| a.period_backoff())
+                    .unwrap_or(Duration::ZERO);
+                let next = devs[dev].clock.wake_after(t, cfg.period + backoff);
+                if next <= end {
+                    queue.schedule(next, Ev::Msg(dev));
+                }
+            }
+        }
+    }
+    summarize(cfg, latency, devs, &mut gw, delivered, evicted, horizon)
+}
+
+/// The largest copy count the configured mode can reach (for the
+/// period-vs-copy-train sanity check).
+fn super_max_copies(mode: &AdaptMode) -> u8 {
+    match mode {
+        AdaptMode::Static(p) => p.copies,
+        AdaptMode::Feedback { cfg, .. } | AdaptMode::Blind(cfg) => cfg.budget.max_copies(),
+    }
+}
+
+/// Measure the device model's deterministic wake → on-air latency and
+/// its full wake-transmit-sleep cycle with a dry run on a scratch
+/// medium. Each repeat copy re-runs the whole cycle (boot, init,
+/// transmit, sleep entry — the paper's Fig. 3b trace), so copies cannot
+/// be scheduled closer together than the cycle takes.
+fn wake_to_air_latency() -> (Duration, Duration) {
+    let mut medium = Medium::new(Default::default(), 0);
+    let radio = medium.attach(RadioConfig::default());
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    inj.inject(&mut medium, radio, PAYLOAD);
+    let (_, start, _, _) = medium.transmissions().next().expect("dry run transmitted");
+    (start.since(Instant::ZERO), inj.now().since(Instant::ZERO))
+}
+
+/// One two-way message round: beacon with RX window, gateway polls what
+/// arrived (through the fault timeline), replies with its loss
+/// estimate, device listens and adapts. Returns the message seq and any
+/// deliveries the mid-round gateway poll produced.
+fn run_feedback_round(
+    d: &mut Dev,
+    medium: &mut Medium,
+    gw_radio: RadioId,
+    gw: &mut Gateway,
+    tl: &mut FaultTimeline,
+    t: Instant,
+) -> (u16, Vec<Received>) {
+    d.inj.sleep_until(t);
+    let rep = d
+        .inj
+        .inject_twoway(medium, d.radio, PAYLOAD, FEEDBACK_WINDOW);
+    let seq = rep.seq;
+    let (open, close) = FEEDBACK_WINDOW.absolute(rep.t_tx_end);
+    // Gateway side: catch up on arrivals (including this beacon, if the
+    // channel let it through) and answer inside the window.
+    let got = drain_gateway(medium, gw_radio, open, tl, gw);
+
+    let device_id = d.inj.identity().device_id;
+    let reply_at = open + Duration::from_us(300);
+    let loss = gw.link_health().and_then(|h| h.loss_estimate(device_id));
+    if let Some(loss) = loss {
+        if !tl.gateway_down(reply_at) {
+            let mut frame = Vec::with_capacity(10);
+            frame.extend_from_slice(&FEEDBACK_MAGIC);
+            frame.extend_from_slice(&device_id.to_be_bytes());
+            frame.extend_from_slice(&((loss * 1000.0).round() as u16).to_be_bytes());
+            medium.transmit(
+                gw_radio,
+                reply_at,
+                TxParams {
+                    airtime: Duration::from_us(60),
+                    power_dbm: 0.0,
+                    min_snr_db: 5.0,
+                },
+                frame,
+            );
+        }
+    }
+    // Device listens through its announced window.
+    if let Some(bytes) = d.inj.listen_window(medium, d.radio, open, close) {
+        if let Some((id, loss)) = parse_feedback(&bytes) {
+            if id == device_id {
+                if let Some(a) = d.adaptive.as_mut() {
+                    a.record_feedback(loss);
+                }
+                d.feedback_received += 1;
+            }
+        }
+    }
+    d.reports.push(rep);
+    (seq, got)
+}
+
+fn parse_feedback(bytes: &[u8]) -> Option<(u32, f64)> {
+    if bytes.len() < 10 || bytes[..4] != FEEDBACK_MAGIC {
+        return None;
+    }
+    let id = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let permille = u16::from_be_bytes([bytes[8], bytes[9]]);
+    Some((id, (permille as f64 / 1000.0).min(1.0)))
+}
+
+/// Fold the raw run state into the report.
+fn summarize(
+    cfg: &CampaignConfig,
+    latency: Duration,
+    devs: Vec<Dev>,
+    gw: &mut Gateway,
+    delivered: HashSet<(u32, u16)>,
+    evicted: Vec<u32>,
+    horizon: Instant,
+) -> CampaignReport {
+    let n_phases = cfg.plan.phases().len();
+    let mut sent = vec![0u64; n_phases + 1]; // last bucket = clear time
+    let mut ok = vec![0u64; n_phases + 1];
+    let mut messages_sent = 0u64;
+    let mut messages_delivered = 0u64;
+    for (i, d) in devs.iter().enumerate() {
+        let id = i as u32 + 1;
+        for &(seq, wake) in &d.msgs {
+            let bucket = cfg.plan.phase_index(wake + latency).unwrap_or(n_phases);
+            sent[bucket] += 1;
+            messages_sent += 1;
+            if delivered.contains(&(id, seq)) {
+                ok[bucket] += 1;
+                messages_delivered += 1;
+            }
+        }
+    }
+
+    let mut phases: Vec<PhaseOutcome> = cfg
+        .plan
+        .phases()
+        .iter()
+        .enumerate()
+        .map(|(i, ph)| {
+            // Recovery: every device heard from again after phase end.
+            let recovery = devs
+                .iter()
+                .map(|d| d.arrivals.iter().find(|&&a| a >= ph.end).copied())
+                .collect::<Option<Vec<Instant>>>()
+                .map(|firsts| {
+                    firsts
+                        .into_iter()
+                        .map(|a| a.since(ph.end))
+                        .max()
+                        .unwrap_or(Duration::ZERO)
+                });
+            PhaseOutcome {
+                label: ph.label.clone(),
+                tag: ph.disturbance.tag().to_string(),
+                sent: sent[i],
+                delivered: ok[i],
+                recovery,
+            }
+        })
+        .collect();
+    phases.push(PhaseOutcome {
+        label: "(clear)".to_string(),
+        tag: "-".to_string(),
+        sent: sent[n_phases],
+        delivered: ok[n_phases],
+        recovery: None,
+    });
+
+    let mut copies_sent = 0u64;
+    let mut total_uj = 0.0;
+    let mut feedback_received = 0u64;
+    for d in &devs {
+        copies_sent += d.reports.len() as u64;
+        feedback_received += d.feedback_received;
+        let model = d.inj.model();
+        for r in &d.reports {
+            let (from, to) = r.tx_window();
+            total_uj += energy_mj(d.inj.trace(), &model, from, to) * 1000.0;
+        }
+    }
+    let energy_uj_per_message = if messages_sent == 0 {
+        0.0
+    } else {
+        total_uj / messages_sent as f64
+    };
+
+    let device_health = {
+        let mut v = Vec::new();
+        for i in 0..cfg.devices {
+            let id = i as u32 + 1;
+            let loss = gw
+                .link_health()
+                .and_then(|h| h.loss_estimate(id))
+                .unwrap_or(1.0);
+            let status = gw
+                .link_health_mut()
+                .map(|h| h.status(id, horizon))
+                .unwrap_or(LinkStatus::Offline);
+            v.push((id, loss, status));
+        }
+        v
+    };
+
+    CampaignReport {
+        mode: cfg.mode.describe(),
+        seed: cfg.seed,
+        devices: cfg.devices,
+        phases,
+        messages_sent,
+        messages_delivered,
+        copies_sent,
+        feedback_received,
+        energy_uj_per_message,
+        device_health,
+        evicted,
+    }
+}
+
+/// Run the same campaign twice — adaptive as configured, and the
+/// [`RepeatPolicy::SINGLE`] static baseline — for a robustness
+/// comparison on an identical fault timeline.
+pub fn run_with_baseline(cfg: &CampaignConfig) -> (CampaignReport, CampaignReport) {
+    let adaptive = run_campaign(cfg);
+    let mut base_cfg = cfg.clone();
+    base_cfg.mode = AdaptMode::Static(RepeatPolicy::SINGLE);
+    let baseline = run_campaign(&base_cfg);
+    (adaptive, baseline)
+}

@@ -16,6 +16,9 @@
 //!   (Equation 1), with crossover analysis;
 //! * [`ablation`] — design-space sweeps DESIGN.md calls out (bitrate,
 //!   payload size, init time / ASIC, clock-drift ppm);
+//! * [`campaign`] — fault-injection campaigns: a fleet run through a
+//!   scheduled disturbance timeline (burst loss, jammers, outages),
+//!   comparing adaptive repeat policies against static baselines;
 //! * [`report`] — paper-style text rendering of all of the above.
 
 #![forbid(unsafe_code)]
@@ -23,6 +26,7 @@
 
 pub mod ablation;
 pub mod ble;
+pub mod campaign;
 pub mod fig3;
 pub mod fig4;
 pub mod report;

@@ -95,7 +95,7 @@ fn sequence_wrap_behaviour() {
     for i in 0..40 {
         inj.sleep_until(t);
         inj.inject(&mut medium, sensor, &[i as u8]);
-        t = t + Duration::from_secs(1);
+        t += Duration::from_secs(1);
         if i == 19 {
             // Epoch boundary on the gateway.
             let got = gw.poll(&mut medium, phone, t);
@@ -155,5 +155,9 @@ fn smoltcp_style_fault_rates() {
     assert_eq!(stats.frames_seen as usize, n);
     assert_eq!(stats.bad_fcs as usize + delivered, n);
     // ~15 % corrupted: between 5 and 30 out of 100.
-    assert!((5..=30).contains(&(stats.bad_fcs as usize)), "{}", stats.bad_fcs);
+    assert!(
+        (5..=30).contains(&(stats.bad_fcs as usize)),
+        "{}",
+        stats.bad_fcs
+    );
 }

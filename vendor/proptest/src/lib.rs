@@ -1,0 +1,83 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The registry is unreachable from the build environment, so this
+//! crate reimplements the pieces the repository's property tests rely
+//! on: the `proptest!` macro, range / `any` / collection / tuple /
+//! `prop_map` / `prop_oneof` / sample strategies, a tiny `[a-z]{m,n}`
+//! class of string strategies, and the `prop_assert*` / `prop_assume`
+//! macros. There is **no shrinking**: a failing case reports its seed
+//! and values via the panic message instead of a minimized input,
+//! which is sufficient for regression-style property suites.
+//!
+//! Case count defaults to 64 and honours the `PROPTEST_CASES`
+//! environment variable, mirroring upstream behaviour.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the repository's tests import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`,
+    /// `prop::sample::Index`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Run every generated case of a `proptest!` test.
+///
+/// Public because the `proptest!` macro expands to a call to it; not
+/// part of the emulated upstream API.
+pub fn run_cases<F>(config: test_runner::ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases)
+        .max(1) as u64;
+    // Deterministic per-test seed: tests must not flake between runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rejects = 0u64;
+    let mut done = 0u64;
+    let mut index = 0u64;
+    while done < cases {
+        let case_seed = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        index += 1;
+        let mut rng = test_runner::TestRng::new(case_seed);
+        match case(&mut rng) {
+            Ok(()) => done += 1,
+            Err(test_runner::TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < 10_000,
+                    "{test_name}: too many prop_assume rejections ({rejects})"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{done} (seed {case_seed:#x}) failed: {msg}");
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Sampling helpers (`prop::sample::Index`, `prop::sample::select`).
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A stand-in for "an index into a collection whose length is not yet
+/// known": stores a unit-interval position and projects it onto
+/// `0..len` on demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Index(f64);
+
+impl Index {
+    /// Project onto `0..len`. Panics when `len == 0`, like upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 * len as f64) as usize).min(len - 1)
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        Index(rng.gen_range(0.0..1.0))
+    }
+}
+
+/// Strategy drawing one element of `choices` uniformly.
+pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select over an empty list");
+    Select { choices }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.gen_range(0..self.choices.len())].clone()
+    }
+}

@@ -1,0 +1,122 @@
+//! String strategies from a small regex subset.
+//!
+//! Upstream proptest accepts any regex as a `String` strategy. This
+//! stand-in supports the subset the workspace's tests use — sequences
+//! of literal characters and `[a-z0-9_]`-style classes, each with an
+//! optional `{n}` / `{m,n}` / `?` / `+` / `*` quantifier — which is
+//! plenty for identifier-shaped inputs like `"[a-z]{4,12}"`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Piece {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                            set.extend((lo..=hi).skip(1)); // lo already pushed
+                        }
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape")],
+            ch => vec![ch],
+        };
+        assert!(!choices.is_empty(), "empty class in pattern {pattern:?}");
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n}"),
+                        n.trim().parse().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        pieces.push(Piece { choices, min, max });
+    }
+    pieces
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..n {
+                out.push(piece.choices[rng.gen_range(0..piece.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z]{4,12}".generate(&mut rng);
+            assert!((4..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::new(2);
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+}
