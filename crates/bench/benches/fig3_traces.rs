@@ -14,10 +14,13 @@ fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     g.bench_function("fig3a_pipeline", |b| {
-        b.iter(|| black_box(fig3::fig3a().trace.samples_ma.len()))
+        b.iter(|| black_box(fig3::fig3a().waveform.segment_count()))
+    });
+    g.bench_function("fig3a_materialize", |b| {
+        b.iter(|| black_box(fig3::fig3a().trace().samples_ma.len()))
     });
     g.bench_function("fig3b_pipeline", |b| {
-        b.iter(|| black_box(fig3::fig3b().trace.samples_ma.len()))
+        b.iter(|| black_box(fig3::fig3b().waveform.segment_count()))
     });
     g.finish();
 }

@@ -10,7 +10,10 @@
 //!   from samples) into charge and energy, including per-phase splits;
 //! * [`export`] — CSV / gnuplot-style data files and a terminal ASCII
 //!   renderer used by the examples to redraw Figure 3;
-//! * [`stats`] — RMS, percentiles, duty cycle, crest factor.
+//! * [`stats`] — RMS, percentiles, duty cycle, crest factor;
+//! * [`waveform`] — piecewise-constant segment waveforms: exact
+//!   statistics in O(state transitions) memory, with lazy dense
+//!   materialization for plotting and export.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -19,6 +22,8 @@ pub mod energy;
 pub mod export;
 pub mod multimeter;
 pub mod stats;
+pub mod waveform;
 
 pub use energy::{energy_mj, EnergyReport, PhaseEnergy};
 pub use multimeter::{CurrentTrace, Multimeter};
+pub use waveform::Waveform;

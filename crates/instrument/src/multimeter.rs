@@ -1,5 +1,6 @@
 //! Sampling a state trace into a current waveform.
 
+use crate::waveform::Waveform;
 use wile_device::{CurrentModel, StateTrace};
 use wile_radio::time::{Duration, Instant};
 
@@ -83,6 +84,10 @@ impl Multimeter {
     /// [`crate::energy::energy_mj`] (exact span integration) and traces
     /// are for *plotting*. The divergence between the two is itself
     /// measured in this crate's tests.
+    ///
+    /// Implemented as [`Multimeter::capture`] followed by
+    /// [`Waveform::materialize`]; the result is sample-for-sample
+    /// identical to reading the state trace at every sample instant.
     pub fn sample(
         &self,
         trace: &StateTrace,
@@ -90,23 +95,21 @@ impl Multimeter {
         from: Instant,
         to: Instant,
     ) -> CurrentTrace {
-        assert!(to >= from);
-        let interval = Duration::from_nanos(1_000_000_000 / self.sample_rate_hz);
-        let n = (to.since(from).as_nanos() / interval.as_nanos()) as usize;
-        let mut samples = Vec::with_capacity(n);
-        for i in 0..n {
-            let t = from + Duration::from_nanos(interval.as_nanos() * i as u64);
-            let ma = trace
-                .state_at(t)
-                .map(|s| model.current_ma(s))
-                .unwrap_or(0.0);
-            samples.push(ma);
-        }
-        CurrentTrace {
-            start: from,
-            sample_interval: interval,
-            samples_ma: samples,
-        }
+        self.capture(trace, model, from, to)
+            .materialize(self.sample_rate_hz)
+    }
+
+    /// Capture the window as a compact piecewise-constant [`Waveform`]
+    /// — O(state transitions) memory instead of O(duration × rate) —
+    /// which can be analysed exactly or materialized densely later.
+    pub fn capture(
+        &self,
+        trace: &StateTrace,
+        model: &CurrentModel,
+        from: Instant,
+        to: Instant,
+    ) -> Waveform {
+        Waveform::capture(trace, model, from, to)
     }
 }
 

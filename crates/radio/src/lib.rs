@@ -15,7 +15,10 @@
 //!   differ away from each other due to the jitter of their clocks" is
 //!   exercised through these.
 //! * [`medium`] — the broadcast medium: transmissions, propagation,
-//!   collisions with capture, per-receiver delivery.
+//!   collisions with capture, per-receiver delivery; indexed per channel
+//!   with memoized link budgets and optional bounded-memory retirement.
+//! * [`naive`] — the original unoptimized medium, retained as the
+//!   reference implementation for differential property tests.
 //! * [`fault`] — smoltcp-style fault injection (random drop, single-bit
 //!   or burst corruption).
 //! * [`gilbert`] — Gilbert–Elliott two-state bursty loss channel.
@@ -33,6 +36,7 @@ pub mod event;
 pub mod fault;
 pub mod gilbert;
 pub mod medium;
+pub mod naive;
 pub mod pcap;
 pub mod per;
 pub mod plan;
@@ -44,5 +48,6 @@ pub use event::EventQueue;
 pub use fault::{CorruptionMode, FaultInjector, FaultOutcome};
 pub use gilbert::{ChannelState, GilbertElliott};
 pub use medium::{Medium, RadioConfig, RadioId, RxFrame};
+pub use naive::NaiveMedium;
 pub use plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
 pub use time::{Duration, Instant};

@@ -1,0 +1,214 @@
+//! Reference broadcast medium: the original, unoptimized implementation
+//! retained verbatim for differential testing.
+//!
+//! [`NaiveMedium`] rescans the full transmission log on every carrier
+//! sense and collision check, recomputes path loss and shadowing per
+//! (transmission, receiver) query, and retains every payload byte
+//! forever. It is deliberately simple enough to audit by eye.
+//!
+//! The optimized [`crate::Medium`] must produce exactly the same
+//! [`RxFrame`] sequence per listener and the same `is_busy` answers for
+//! any topology and traffic pattern; `tests/props.rs` enforces this over
+//! randomized inputs, and the benchmark suite measures the gap between
+//! the two.
+
+use crate::channel::ChannelModel;
+use crate::medium::{RadioConfig, RadioId, RxFrame, TxParams, CAPTURE_MARGIN_DB};
+use crate::per::packet_error_rate;
+use crate::time::Instant;
+
+#[derive(Debug, Clone)]
+struct Transmission {
+    from: RadioId,
+    start: Instant,
+    end: Instant,
+    channel: u8,
+    params: TxParams,
+    bytes: Vec<u8>,
+}
+
+/// The original O(radios × transmissions) medium, API-compatible with
+/// the optimized [`crate::Medium`] for the operations the differential
+/// tests exercise.
+#[derive(Debug)]
+pub struct NaiveMedium {
+    model: ChannelModel,
+    seed: u64,
+    radios: Vec<RadioConfig>,
+    txs: Vec<Transmission>,
+    /// Per-receiver cursor into `txs`: everything before it has been
+    /// offered to that receiver already.
+    cursors: Vec<usize>,
+    last_start: Instant,
+}
+
+impl NaiveMedium {
+    /// A medium with the given propagation model and loss seed.
+    pub fn new(model: ChannelModel, seed: u64) -> Self {
+        NaiveMedium {
+            model,
+            seed,
+            radios: Vec::new(),
+            txs: Vec::new(),
+            cursors: Vec::new(),
+            last_start: Instant::ZERO,
+        }
+    }
+
+    /// Attach a radio; returns its id.
+    pub fn attach(&mut self, cfg: RadioConfig) -> RadioId {
+        self.radios.push(cfg);
+        self.cursors.push(0);
+        RadioId(self.radios.len() as u32 - 1)
+    }
+
+    /// Transmit `bytes` from `from` starting at `at`; returns the
+    /// end-of-frame instant. Same time-order contract as
+    /// [`crate::Medium::transmit`].
+    pub fn transmit(
+        &mut self,
+        from: RadioId,
+        at: Instant,
+        params: TxParams,
+        bytes: Vec<u8>,
+    ) -> Instant {
+        assert!(
+            at >= self.last_start,
+            "transmissions must be issued in time order ({at} < {})",
+            self.last_start
+        );
+        self.last_start = at;
+        let end = at + params.airtime;
+        let channel = self.radios[from.0 as usize].channel;
+        self.txs.push(Transmission {
+            from,
+            start: at,
+            end,
+            channel,
+            params,
+            bytes,
+        });
+        end
+    }
+
+    /// Whether `listener` would sense the medium busy at `at` — full
+    /// scan of the transmission log.
+    pub fn is_busy(&self, listener: RadioId, at: Instant) -> bool {
+        let cfg = self.radios[listener.0 as usize];
+        self.txs.iter().rev().any(|tx| {
+            tx.start <= at
+                && at < tx.end
+                && tx.channel == cfg.channel
+                && tx.from != listener
+                && self.rx_power(tx, listener) >= cfg.sensitivity_dbm
+        })
+    }
+
+    /// Collect every frame that finished arriving at `listener` by
+    /// `up_to` — same contract as [`crate::Medium::take_inbox`].
+    pub fn take_inbox(&mut self, listener: RadioId, up_to: Instant) -> Vec<RxFrame> {
+        let cfg = self.radios[listener.0 as usize];
+        let mut out = Vec::new();
+        let mut cursor = self.cursors[listener.0 as usize];
+        while cursor < self.txs.len() {
+            let tx = &self.txs[cursor];
+            if tx.end > up_to {
+                break;
+            }
+            if let Some(frame) = self.receive_one(cursor, listener, cfg) {
+                out.push(frame);
+            }
+            cursor += 1;
+        }
+        self.cursors[listener.0 as usize] = cursor;
+        out
+    }
+
+    fn rx_power(&self, tx: &Transmission, listener: RadioId) -> f64 {
+        let a = self.radios[tx.from.0 as usize].position_m;
+        let b = self.radios[listener.0 as usize].position_m;
+        let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        self.model.rx_power_dbm(tx.params.power_dbm, d) + self.shadow_db(tx.from, listener)
+    }
+
+    fn shadow_db(&self, a: RadioId, b: RadioId) -> f64 {
+        let sigma = self.model.shadowing_sigma_db;
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let u1 = Self::unit_hash(self.seed ^ 0x5AAD_0001, lo, hi);
+        let u2 = Self::unit_hash(self.seed ^ 0x5AAD_0002, lo, hi);
+        // Box–Muller for a standard normal from two uniforms.
+        let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        sigma * z
+    }
+
+    fn unit_hash(seed: u64, a: u32, b: u32) -> f64 {
+        let mut x = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(a as u64 + 1)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(b as u64 + 1);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn receive_one(&self, tx_idx: usize, listener: RadioId, cfg: RadioConfig) -> Option<RxFrame> {
+        let tx = &self.txs[tx_idx];
+        if tx.from == listener || tx.channel != cfg.channel {
+            return None;
+        }
+        let rssi = self.rx_power(tx, listener);
+        if rssi < cfg.sensitivity_dbm {
+            return None;
+        }
+        // Collision check over the ENTIRE log — the quadratic scan the
+        // optimized medium windows away.
+        for (j, other) in self.txs.iter().enumerate() {
+            if j == tx_idx || other.channel != tx.channel || other.from == listener {
+                continue;
+            }
+            let overlaps = other.start < tx.end && tx.start < other.end;
+            if !overlaps {
+                continue;
+            }
+            let interferer = self.rx_power(other, listener);
+            if interferer >= cfg.sensitivity_dbm && rssi < interferer + CAPTURE_MARGIN_DB {
+                return None;
+            }
+        }
+        let snr = rssi - self.model.effective_noise_dbm();
+        let per = packet_error_rate(snr, tx.params.min_snr_db, tx.bytes.len());
+        if self.loss_roll(tx_idx, listener) < per {
+            return None;
+        }
+        Some(RxFrame {
+            at: tx.end,
+            from: tx.from,
+            rssi_dbm: rssi,
+            snr_db: snr,
+            bytes: tx.bytes.clone(),
+        })
+    }
+
+    fn loss_roll(&self, tx_idx: usize, listener: RadioId) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tx_idx as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(listener.0 as u64 + 1);
+        // SplitMix64 finalizer.
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}

@@ -5,9 +5,88 @@ use wile_radio::channel::ChannelModel;
 use wile_radio::clock::DriftClock;
 use wile_radio::gilbert::GilbertElliott;
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
+use wile_radio::naive::NaiveMedium;
 use wile_radio::per::packet_error_rate;
 use wile_radio::time::{Duration, Instant};
 use wile_radio::EventQueue;
+
+/// One randomized radio: position in a 60 m box, one of three channels,
+/// one of two sensitivities.
+fn arb_radio() -> impl Strategy<Value = RadioConfig> {
+    (0.0f64..60.0, 0.0f64..60.0, 0u8..3, any::<bool>()).prop_map(|(x, y, ch, deaf)| RadioConfig {
+        position_m: (x, y),
+        channel: [1, 6, 11][ch as usize],
+        sensitivity_dbm: if deaf { -75.0 } else { -92.0 },
+    })
+}
+
+/// One randomized transmission: sender index, start gap (µs), airtime
+/// (µs), payload length, tx power.
+type TrafficItem = (usize, u64, u64, usize, bool);
+
+fn arb_traffic() -> impl Strategy<Value = Vec<TrafficItem>> {
+    prop::collection::vec(
+        (0usize..8, 0u64..800, 20u64..400, 1usize..40, any::<bool>()),
+        1..60,
+    )
+}
+
+/// Drive the optimized and naive media through identical topology,
+/// traffic, interleaved polls and carrier-sense queries; every
+/// observable must match bit-for-bit.
+fn assert_media_equivalent(
+    seed: u64,
+    sigma_db: f64,
+    radios: &[RadioConfig],
+    traffic: &[TrafficItem],
+    poll_every: usize,
+    bounded: bool,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let model = ChannelModel {
+        shadowing_sigma_db: sigma_db,
+        ..Default::default()
+    };
+    let mut fast = Medium::new(model, seed);
+    let mut slow = NaiveMedium::new(model, seed);
+    fast.retire_consumed(bounded);
+    let ids: Vec<_> = radios.iter().map(|&cfg| fast.attach(cfg)).collect();
+    for &cfg in radios {
+        slow.attach(cfg);
+    }
+    let mut t = Instant::ZERO;
+    for (k, &(sender, gap_us, airtime_us, len, high_power)) in traffic.iter().enumerate() {
+        let from = ids[sender % ids.len()];
+        t += Duration::from_us(gap_us);
+        let params = TxParams {
+            airtime: Duration::from_us(airtime_us),
+            power_dbm: if high_power { 10.0 } else { 0.0 },
+            min_snr_db: 15.0,
+        };
+        let payload = vec![k as u8; len];
+        let end_fast = fast.transmit(from, t, params, payload.clone());
+        let end_slow = slow.transmit(from, t, params, payload);
+        prop_assert_eq!(end_fast, end_slow);
+        // Carrier sense mid-frame must agree for every radio.
+        let mid = t + Duration::from_us(airtime_us / 2);
+        for &r in &ids {
+            prop_assert_eq!(fast.is_busy(r, mid), slow.is_busy(r, mid));
+        }
+        if (k + 1) % poll_every == 0 {
+            for &r in &ids {
+                prop_assert_eq!(fast.take_inbox(r, t), slow.take_inbox(r, t));
+            }
+        }
+    }
+    let drain = t + Duration::from_secs(1);
+    for &r in &ids {
+        prop_assert_eq!(fast.take_inbox(r, drain), slow.take_inbox(r, drain));
+    }
+    if bounded {
+        // The whole point of bounded mode: consumed history is gone.
+        prop_assert!(fast.live_tx_count() <= traffic.len());
+    }
+    Ok(())
+}
 
 proptest! {
     #[test]
@@ -178,5 +257,38 @@ proptest! {
         }
         total += m.take_inbox(b, t + Duration::from_secs(1)).len();
         prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn indexed_medium_matches_naive_reference(
+        seed in any::<u64>(),
+        radios in prop::collection::vec(arb_radio(), 2..8),
+        traffic in arb_traffic(),
+        poll_every in 1usize..10,
+    ) {
+        assert_media_equivalent(seed, 0.0, &radios, &traffic, poll_every, false)?;
+    }
+
+    #[test]
+    fn indexed_medium_matches_naive_reference_with_shadowing(
+        seed in any::<u64>(),
+        sigma in 1.0f64..10.0,
+        radios in prop::collection::vec(arb_radio(), 2..8),
+        traffic in arb_traffic(),
+        poll_every in 1usize..10,
+    ) {
+        assert_media_equivalent(seed, sigma, &radios, &traffic, poll_every, false)?;
+    }
+
+    #[test]
+    fn bounded_medium_matches_naive_reference(
+        seed in any::<u64>(),
+        radios in prop::collection::vec(arb_radio(), 2..8),
+        traffic in arb_traffic(),
+        poll_every in 1usize..10,
+    ) {
+        // Retirement enabled: deliveries, loss rolls and in-contract
+        // carrier sense must still match the full-history reference.
+        assert_media_equivalent(seed, 0.0, &radios, &traffic, poll_every, true)?;
     }
 }

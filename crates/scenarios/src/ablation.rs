@@ -45,7 +45,7 @@ pub fn bitrate_sweep(beacon_len: usize) -> Vec<RatePoint> {
 }
 
 /// One point of the payload-size ablation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PayloadPoint {
     /// Message payload bytes.
     pub payload_len: usize,
@@ -60,32 +60,37 @@ pub struct PayloadPoint {
 /// Sweep the message payload across the vendor-IE fragmentation
 /// boundary (§4.1's 253-byte field limit).
 pub fn payload_sweep(sizes: &[usize]) -> Vec<PayloadPoint> {
-    sizes
-        .iter()
-        .map(|&payload_len| {
-            let mut medium = Medium::new(Default::default(), 1);
-            let radio = medium.attach(RadioConfig::default());
-            let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
-            let model = inj.model();
-            let payload = vec![0x42u8; payload_len];
-            let report = inj.inject(&mut medium, radio, &payload);
-            let (from, to) = report.tx_window();
-            let frags =
-                wile::encode::encode_fragments(&wile::message::Message::new(1, 0, &payload))
-                    .unwrap()
-                    .len();
-            PayloadPoint {
-                payload_len,
-                beacon_len: report.beacon_len,
-                fragments: frags,
-                tx_energy_uj: energy_mj(inj.trace(), &model, from, to) * 1000.0,
-            }
-        })
-        .collect()
+    sizes.iter().map(|&s| payload_point(s)).collect()
+}
+
+/// [`payload_sweep`] with each sweep point run as its own engine cell
+/// (every point simulates a fresh device and medium). Identical output
+/// for any worker count.
+pub fn payload_sweep_par(sizes: &[usize], workers: usize) -> Vec<PayloadPoint> {
+    crate::engine::run_cells(sizes.len(), workers, |i| payload_point(sizes[i]))
+}
+
+fn payload_point(payload_len: usize) -> PayloadPoint {
+    let mut medium = Medium::new(Default::default(), 1);
+    let radio = medium.attach(RadioConfig::default());
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    let model = inj.model();
+    let payload = vec![0x42u8; payload_len];
+    let report = inj.inject(&mut medium, radio, &payload);
+    let (from, to) = report.tx_window();
+    let frags = wile::encode::encode_fragments(&wile::message::Message::new(1, 0, &payload))
+        .unwrap()
+        .len();
+    PayloadPoint {
+        payload_len,
+        beacon_len: report.beacon_len,
+        fragments: frags,
+        tx_energy_uj: energy_mj(inj.trace(), &model, from, to) * 1000.0,
+    }
 }
 
 /// One point of the init-time (ASIC) ablation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InitPoint {
     /// Boot + inject-init time, seconds.
     pub init_s: f64,
@@ -97,32 +102,36 @@ pub struct InitPoint {
 /// regime (§5.4: "an ASIC implementation will have much lower power
 /// consumption"), reporting the *full-cycle* energy per packet.
 pub fn init_time_sweep(scales: &[f64]) -> Vec<InitPoint> {
+    scales.iter().map(|&k| init_point(k)).collect()
+}
+
+/// [`init_time_sweep`] with each scale factor as its own engine cell.
+/// Identical output for any worker count.
+pub fn init_time_sweep_par(scales: &[f64], workers: usize) -> Vec<InitPoint> {
+    crate::engine::run_cells(scales.len(), workers, |i| init_point(scales[i]))
+}
+
+fn init_point(k: f64) -> InitPoint {
     let esp = esp32_timing();
-    scales
-        .iter()
-        .map(|&k| {
-            let timing = Esp32Timing {
-                boot_from_deep_sleep: esp.boot_from_deep_sleep.mul_f64(k),
-                wifi_init_station: esp.wifi_init_station.mul_f64(k),
-                wifi_init_inject: esp.wifi_init_inject.mul_f64(k),
-                tx_ramp: esp.tx_ramp,
-                sleep_entry: esp.sleep_entry.mul_f64(k),
-            };
-            let mut mcu = Mcu::new(Instant::ZERO, esp32_current_model(), timing);
-            mcu.set_state(PowerState::DeepSleep);
-            let mut medium = Medium::new(Default::default(), 1);
-            let radio = medium.attach(RadioConfig::default());
-            let mut inj = Injector::with_mcu(DeviceIdentity::new(1), mcu);
-            let model = inj.model();
-            let report = inj.inject(&mut medium, radio, b"t=21.5C");
-            let (from, to) = report.active_window();
-            InitPoint {
-                init_s: timing.boot_from_deep_sleep.as_secs_f64()
-                    + timing.wifi_init_inject.as_secs_f64(),
-                full_cycle_uj: energy_mj(inj.trace(), &model, from, to) * 1000.0,
-            }
-        })
-        .collect()
+    let timing = Esp32Timing {
+        boot_from_deep_sleep: esp.boot_from_deep_sleep.mul_f64(k),
+        wifi_init_station: esp.wifi_init_station.mul_f64(k),
+        wifi_init_inject: esp.wifi_init_inject.mul_f64(k),
+        tx_ramp: esp.tx_ramp,
+        sleep_entry: esp.sleep_entry.mul_f64(k),
+    };
+    let mut mcu = Mcu::new(Instant::ZERO, esp32_current_model(), timing);
+    mcu.set_state(PowerState::DeepSleep);
+    let mut medium = Medium::new(Default::default(), 1);
+    let radio = medium.attach(RadioConfig::default());
+    let mut inj = Injector::with_mcu(DeviceIdentity::new(1), mcu);
+    let model = inj.model();
+    let report = inj.inject(&mut medium, radio, b"t=21.5C");
+    let (from, to) = report.active_window();
+    InitPoint {
+        init_s: timing.boot_from_deep_sleep.as_secs_f64() + timing.wifi_init_inject.as_secs_f64(),
+        full_cycle_uj: energy_mj(inj.trace(), &model, from, to) * 1000.0,
+    }
 }
 
 /// The ASIC endpoint: full-cycle energy with [`asic_timing`].
@@ -207,7 +216,7 @@ pub fn channel_scan_overhead_mj(channels_tried: usize) -> f64 {
 }
 
 /// One point of the two-way cadence ablation (§6, E7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CadencePoint {
     /// Receive window opened every k-th beacon.
     pub window_every: usize,
@@ -220,38 +229,53 @@ pub struct CadencePoint {
 /// Sweep the §6 receive-window cadence: windows on every k-th beacon
 /// trade downlink latency/capacity against listen energy.
 pub fn twoway_cadence_sweep(cadences: &[usize], cycles: usize) -> Vec<CadencePoint> {
-    use wile::session::{run_session, CommandQueue};
     cadences
         .iter()
-        .map(|&window_every| {
-            let mut medium = Medium::new(Default::default(), 88);
-            let dev = medium.attach(RadioConfig::default());
-            let gw = medium.attach(RadioConfig {
-                position_m: (2.0, 0.0),
-                ..Default::default()
-            });
-            let mut inj = Injector::new(DeviceIdentity::new(4), Instant::ZERO);
-            let mut queue = CommandQueue::new();
-            for i in 0..cycles {
-                queue.push(4, format!("cmd{i}").as_bytes());
-            }
-            let out = run_session(
-                &mut medium,
-                dev,
-                gw,
-                &mut inj,
-                &mut queue,
-                cycles,
-                window_every,
-                Duration::from_secs(10),
-            );
-            CadencePoint {
-                window_every,
-                listen_time_s: out.device_listen_time.as_secs_f64(),
-                commands_delivered: out.commands_executed.len(),
-            }
-        })
+        .map(|&window_every| cadence_point(window_every, cycles))
         .collect()
+}
+
+/// [`twoway_cadence_sweep`] with each cadence as its own engine cell
+/// (every point runs a fresh session on its own medium). Identical
+/// output for any worker count.
+pub fn twoway_cadence_sweep_par(
+    cadences: &[usize],
+    cycles: usize,
+    workers: usize,
+) -> Vec<CadencePoint> {
+    crate::engine::run_cells(cadences.len(), workers, |i| {
+        cadence_point(cadences[i], cycles)
+    })
+}
+
+fn cadence_point(window_every: usize, cycles: usize) -> CadencePoint {
+    use wile::session::{run_session, CommandQueue};
+    let mut medium = Medium::new(Default::default(), 88);
+    let dev = medium.attach(RadioConfig::default());
+    let gw = medium.attach(RadioConfig {
+        position_m: (2.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(4), Instant::ZERO);
+    let mut queue = CommandQueue::new();
+    for i in 0..cycles {
+        queue.push(4, format!("cmd{i}").as_bytes());
+    }
+    let out = run_session(
+        &mut medium,
+        dev,
+        gw,
+        &mut inj,
+        &mut queue,
+        cycles,
+        window_every,
+        Duration::from_secs(10),
+    );
+    CadencePoint {
+        window_every,
+        listen_time_s: out.device_listen_time.as_secs_f64(),
+        commands_delivered: out.commands_executed.len(),
+    }
 }
 
 /// One point of the clock-drift ablation (§6 decorrelation).
@@ -374,6 +398,22 @@ mod tests {
         // delivery, not confirmation, is counted here).
         assert_eq!(sweep[0].commands_delivered, 8);
         assert_eq!(sweep[2].commands_delivered, 2);
+    }
+
+    #[test]
+    fn parallel_sweeps_match_serial_exactly() {
+        let cap = wile::encode::FRAGMENT_CAPACITY;
+        let sizes = [8, cap, cap + 1, cap * 2 + 5];
+        let scales = [1.0, 0.3, 0.1, 0.01];
+        let cadences = [1, 2, 4];
+        let payload = payload_sweep(&sizes);
+        let init = init_time_sweep(&scales);
+        let cadence = twoway_cadence_sweep(&cadences, 8);
+        for workers in [1, 2, 8] {
+            assert_eq!(payload_sweep_par(&sizes, workers), payload);
+            assert_eq!(init_time_sweep_par(&scales, workers), init);
+            assert_eq!(twoway_cadence_sweep_par(&cadences, 8, workers), cadence);
+        }
     }
 
     #[test]

@@ -380,6 +380,10 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     );
 
     let mut medium = Medium::new(Default::default(), cfg.seed);
+    // Long campaigns must not retain every beacon payload forever: the
+    // gateway drains continuously and devices release consumed history
+    // at every poll tick, so the medium runs in bounded memory.
+    medium.retire_consumed(true);
     let gw_radio = medium.attach(RadioConfig::default());
     let mut gw = Gateway::with_link_health(cfg.link);
     let mut tl = FaultTimeline::new(cfg.plan.clone());
@@ -449,6 +453,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             Ev::Poll => {
                 let got = drain_gateway(&mut medium, gw_radio, t, &mut tl, &mut gw);
                 record(&mut devs, got);
+                // Devices only read their radios inside feedback
+                // windows, which always open after the current instant;
+                // waive everything older so it can be retired.
+                for d in &devs {
+                    medium.release(d.radio, t);
+                }
                 if let Some(h) = gw.link_health_mut() {
                     evicted.extend(h.evict_stale(t));
                 }
@@ -743,4 +753,28 @@ pub fn run_with_baseline(cfg: &CampaignConfig) -> (CampaignReport, CampaignRepor
     base_cfg.mode = AdaptMode::Static(RepeatPolicy::SINGLE);
     let baseline = run_campaign(&base_cfg);
     (adaptive, baseline)
+}
+
+/// [`run_with_baseline`] with the two arms fanned across the run
+/// engine. Each arm builds its own seeded world, so the pair of reports
+/// is byte-identical to the serial version for any worker count.
+pub fn run_with_baseline_par(
+    cfg: &CampaignConfig,
+    workers: usize,
+) -> (CampaignReport, CampaignReport) {
+    let mut base_cfg = cfg.clone();
+    base_cfg.mode = AdaptMode::Static(RepeatPolicy::SINGLE);
+    let arms = [cfg.clone(), base_cfg];
+    let mut reports = crate::engine::run_cells(2, workers, |i| run_campaign(&arms[i]));
+    let baseline = reports.pop().expect("two arms");
+    let adaptive = reports.pop().expect("two arms");
+    (adaptive, baseline)
+}
+
+/// Run many independent campaign cells (arms × seeds) across `workers`
+/// threads; results come back in input order, byte-identical to running
+/// each serially — every cell owns its medium, clocks and fault
+/// timeline.
+pub fn run_campaigns(cfgs: &[CampaignConfig], workers: usize) -> Vec<CampaignReport> {
+    crate::engine::run_cells(cfgs.len(), workers, |i| run_campaign(&cfgs[i]))
 }

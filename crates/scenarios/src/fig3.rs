@@ -4,18 +4,23 @@
 
 use crate::{wifi_dc, wile_sc};
 use wile_device::trace::Phase;
-use wile_instrument::{CurrentTrace, Multimeter};
+use wile_instrument::{CurrentTrace, Multimeter, Waveform};
 use wile_netstack::connect::ConnectConfig;
 use wile_radio::time::{Duration, Instant};
 
-/// One reproduced figure panel: the sampled waveform plus the paper's
+/// One reproduced figure panel: the captured waveform plus the paper's
 /// phase annotations.
+///
+/// The waveform is held as compact piecewise-constant segments — a few
+/// dozen entries instead of the 100 000 samples of the dense 2 s trace;
+/// [`Fig3Panel::trace`] materializes the instrument-grade sample vector
+/// on demand.
 #[derive(Debug)]
 pub struct Fig3Panel {
     /// Panel caption ("WiFi" / "Wi-LE").
     pub title: &'static str,
-    /// The 50 kS/s current waveform.
-    pub trace: CurrentTrace,
+    /// The captured current waveform (segment representation).
+    pub waveform: Waveform,
     /// Phase annotations.
     pub phases: Vec<Phase>,
 }
@@ -28,6 +33,13 @@ impl Fig3Panel {
             .find(|p| p.label == label)
             .map(|p| p.end.since(p.start).as_secs_f64())
     }
+
+    /// Materialize the dense 50 kS/s trace the paper's instrument
+    /// records — sample-for-sample what `Multimeter::sample` returns.
+    pub fn trace(&self) -> CurrentTrace {
+        self.waveform
+            .materialize(Multimeter::keysight_34465a().sample_rate_hz)
+    }
 }
 
 /// Reproduce Figure 3a: the WiFi-DC connect-and-transmit waveform over
@@ -35,7 +47,7 @@ impl Fig3Panel {
 pub fn fig3a() -> Fig3Panel {
     let run = wifi_dc::run(&ConnectConfig::default());
     let mm = Multimeter::keysight_34465a();
-    let trace = mm.sample(
+    let waveform = mm.capture(
         &run.outcome.trace,
         &run.model,
         Instant::ZERO,
@@ -43,7 +55,7 @@ pub fn fig3a() -> Fig3Panel {
     );
     Fig3Panel {
         title: "WiFi",
-        trace,
+        waveform,
         phases: run.outcome.trace.phases().to_vec(),
     }
 }
@@ -56,7 +68,7 @@ pub fn fig3b() -> Fig3Panel {
     // Extend the trailing sleep so the 2 s window is fully defined.
     run.injector.sleep_until(Instant::from_secs(3));
     let mm = Multimeter::keysight_34465a();
-    let trace = mm.sample(
+    let waveform = mm.capture(
         run.injector.trace(),
         &model,
         Instant::ZERO,
@@ -64,7 +76,7 @@ pub fn fig3b() -> Fig3Panel {
     );
     Fig3Panel {
         title: "Wi-LE",
-        trace,
+        waveform,
         phases: run.injector.trace().phases().to_vec(),
     }
 }
@@ -83,20 +95,18 @@ pub fn active_durations() -> (f64, f64) {
 /// Helper for the figure renderer: downsample a 50 kS/s panel to a
 /// plot-friendly resolution without losing the TX spike.
 pub fn plot_trace(panel: &Fig3Panel, columns: usize) -> CurrentTrace {
-    let factor = (panel.trace.samples_ma.len() / columns).max(1);
+    let dense = panel.trace();
+    let factor = (dense.samples_ma.len() / columns).max(1);
     // Max-preserving downsample: keep spikes visible like the paper's
     // plotted samples do.
-    let samples_ma: Vec<f64> = panel
-        .trace
+    let samples_ma: Vec<f64> = dense
         .samples_ma
         .chunks(factor)
         .map(|c| c.iter().copied().fold(0.0, f64::max))
         .collect();
     CurrentTrace {
-        start: panel.trace.start,
-        sample_interval: Duration::from_nanos(
-            panel.trace.sample_interval.as_nanos() * factor as u64,
-        ),
+        start: dense.start,
+        sample_interval: Duration::from_nanos(dense.sample_interval.as_nanos() * factor as u64),
         samples_ma,
     }
 }
@@ -125,27 +135,50 @@ mod tests {
     #[test]
     fn fig3a_waveform_shape() {
         let p = fig3a();
+        let trace = p.trace();
         // Y-axis: the paper plots 0-250 mA; our peak is the TX current.
-        assert!(p.trace.peak_ma() > 150.0 && p.trace.peak_ma() <= 250.0);
+        assert!(trace.peak_ma() > 150.0 && trace.peak_ma() <= 250.0);
+        // The segment form agrees exactly with the dense samples.
+        assert!((p.waveform.peak_ma() - trace.peak_ma()).abs() < 1e-12);
         // Sleep at the start: first samples near zero.
-        assert!(p.trace.samples_ma[10] < 0.01);
+        assert!(trace.samples_ma[10] < 0.01);
         // Init phase plateau: sample mid-init (t = 0.5 s → idx 25000).
-        let mid_init = p.trace.samples_ma[25_000];
+        let mid_init = trace.samples_ma[25_000];
         assert!((30.0..=100.0).contains(&mid_init), "{mid_init}");
         // DHCP phase baseline 20-30 mA: sample t = 1.3 s.
-        let dhcp = p.trace.samples_ma[65_000];
+        let dhcp = trace.samples_ma[65_000];
         assert!((20.0..=30.0).contains(&dhcp), "{dhcp}");
     }
 
     #[test]
     fn fig3b_waveform_shape() {
         let p = fig3b();
+        let trace = p.trace();
         // Mostly sleep, one short active burst.
-        let active_samples = p.trace.samples_ma.iter().filter(|&&ma| ma > 1.0).count();
-        let frac = active_samples as f64 / p.trace.samples_ma.len() as f64;
+        let active_samples = trace.samples_ma.iter().filter(|&&ma| ma > 1.0).count();
+        let frac = active_samples as f64 / trace.samples_ma.len() as f64;
         // ~0.48 s active in 2 s.
         assert!((0.2..=0.3).contains(&frac), "active fraction {frac}");
-        assert!(p.trace.peak_ma() > 150.0);
+        // Same fraction, computed exactly from the segments.
+        let exact = p.waveform.duty_cycle_above(1.0);
+        assert!(
+            (frac - exact).abs() < 1e-3,
+            "sampled {frac} vs exact {exact}"
+        );
+        assert!(trace.peak_ma() > 150.0);
+    }
+
+    #[test]
+    fn panel_waveform_is_compact() {
+        let p = fig3a();
+        // 2 s at 50 kS/s is 100 000 dense samples; the segment form
+        // holds the handful of power-state plateaus.
+        assert!(
+            p.waveform.segment_count() < 200,
+            "{}",
+            p.waveform.segment_count()
+        );
+        assert!(p.waveform.dense_memory_bytes(50_000) > 100 * p.waveform.memory_bytes());
     }
 
     #[test]
@@ -162,6 +195,6 @@ mod tests {
         let p = fig3b();
         let plot = plot_trace(&p, 120);
         assert!(plot.samples_ma.len() <= 121);
-        assert!((plot.peak_ma() - p.trace.peak_ma()).abs() < 1e-9);
+        assert!((plot.peak_ma() - p.trace().peak_ma()).abs() < 1e-9);
     }
 }

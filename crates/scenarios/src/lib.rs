@@ -19,6 +19,10 @@
 //! * [`campaign`] — fault-injection campaigns: a fleet run through a
 //!   scheduled disturbance timeline (burst loss, jammers, outages),
 //!   comparing adaptive repeat policies against static baselines;
+//! * [`engine`] — the deterministic parallel run engine: independent
+//!   cells (campaign arms × seeds, sweep points, scenario rows) fanned
+//!   across a thread pool with index-ordered merging, byte-identical to
+//!   serial for any worker count;
 //! * [`report`] — paper-style text rendering of all of the above.
 
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@
 pub mod ablation;
 pub mod ble;
 pub mod campaign;
+pub mod engine;
 pub mod fig3;
 pub mod fig4;
 pub mod report;
