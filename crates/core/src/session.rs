@@ -121,8 +121,63 @@ pub fn parse_uplink(payload: &[u8]) -> Option<(u16, &[u8])> {
     Some((u16::from_be_bytes([payload[0], payload[1]]), &payload[2..]))
 }
 
+/// Drain the gateway's inbox up to `up_to` and serve it: confirm
+/// command echoes carried in uplinks from `device_id`, and answer any
+/// announced receive window with the head-of-line queued command.
+///
+/// Returns the number of uplinks accepted. This is the gateway half of
+/// one session cycle, shared by the synchronous [`run_session`] loop and
+/// the event-driven kernel port in `wile-scenarios` — both must issue
+/// the exact same medium calls for their outcomes to match.
+pub fn gateway_serve(
+    medium: &mut Medium,
+    gw_radio: RadioId,
+    device_id: u32,
+    queue: &mut CommandQueue,
+    up_to: Instant,
+) -> usize {
+    let mut uplinks = 0usize;
+    for rx in medium.take_inbox(gw_radio, up_to) {
+        let Ok(beacon) = Beacon::new_checked(&rx.bytes[..]) else {
+            continue;
+        };
+        let frags = crate::beacon::wile_fragments(&beacon);
+        let Some(msg) = crate::encode::decode_fragments(frags.into_iter()) else {
+            continue;
+        };
+        if msg.device_id != device_id {
+            continue;
+        }
+        uplinks += 1;
+        if let Some((echo, _)) = parse_uplink(&msg.payload) {
+            queue.confirm(device_id, echo);
+        }
+        if let (Some(win), Some(cmd)) = (rx_window_of(&beacon), queue.head(device_id)) {
+            let (open, close) = win.absolute(rx.at);
+            let airtime = Duration::from_us(frame_airtime_us(
+                PhyRate::Ofdm(24),
+                cmd.to_bytes().len() + 30,
+            ));
+            let at = open + Duration::from_us(200);
+            if at + airtime <= close {
+                medium.transmit(
+                    gw_radio,
+                    at,
+                    TxParams {
+                        airtime,
+                        power_dbm: 0.0,
+                        min_snr_db: PhyRate::Ofdm(24).min_snr_db(),
+                    },
+                    cmd.to_bytes(),
+                );
+            }
+        }
+    }
+    uplinks
+}
+
 /// Outcome of a multi-cycle two-way session.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionOutcome {
     /// Uplink readings the gateway received, in order.
     pub uplinks: usize,
@@ -176,42 +231,13 @@ pub fn run_session(
 
         // Gateway: pick up the uplink, confirm echoes, and answer into
         // an announced window.
-        for rx in medium.take_inbox(gw_radio, report.t_tx_end + Duration::from_ms(1)) {
-            let Ok(beacon) = Beacon::new_checked(&rx.bytes[..]) else {
-                continue;
-            };
-            let frags = crate::beacon::wile_fragments(&beacon);
-            let Some(msg) = crate::encode::decode_fragments(frags.into_iter()) else {
-                continue;
-            };
-            if msg.device_id != device_id {
-                continue;
-            }
-            uplinks += 1;
-            if let Some((echo, _)) = parse_uplink(&msg.payload) {
-                queue.confirm(device_id, echo);
-            }
-            if let (Some(win), Some(cmd)) = (rx_window_of(&beacon), queue.head(device_id)) {
-                let (open, close) = win.absolute(rx.at);
-                let airtime = Duration::from_us(frame_airtime_us(
-                    PhyRate::Ofdm(24),
-                    cmd.to_bytes().len() + 30,
-                ));
-                let at = open + Duration::from_us(200);
-                if at + airtime <= close {
-                    medium.transmit(
-                        gw_radio,
-                        at,
-                        TxParams {
-                            airtime,
-                            power_dbm: 0.0,
-                            min_snr_db: PhyRate::Ofdm(24).min_snr_db(),
-                        },
-                        cmd.to_bytes(),
-                    );
-                }
-            }
-        }
+        uplinks += gateway_serve(
+            medium,
+            gw_radio,
+            device_id,
+            queue,
+            report.t_tx_end + Duration::from_ms(1),
+        );
 
         // Device: if it announced a window, listen through it.
         if announce {

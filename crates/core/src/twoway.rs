@@ -20,6 +20,64 @@ use wile_dot11::phy::{frame_airtime_us, PhyRate};
 use wile_radio::medium::{Medium, RadioId, TxParams};
 use wile_radio::time::{Duration, Instant};
 
+/// Magic prefix of the gateway's loss-report downlink frame.
+pub const FEEDBACK_MAGIC: [u8; 4] = *b"WLFB";
+
+/// The gateway's loss-report downlink frame: the payload it transmits
+/// into a device's announced receive window so the device's
+/// [`crate::reliability::AdaptiveRepeat`] policy can react to measured
+/// message loss.
+///
+/// Wire format (10 bytes): [`FEEDBACK_MAGIC`], device id (4 B, BE),
+/// loss in permille (2 B, BE). Loss is quantized to permille on encode;
+/// [`FeedbackFrame::loss`] returns it clamped to `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackFrame {
+    /// The device the loss report addresses.
+    pub device_id: u32,
+    /// Message loss estimate, permille (0–1000; larger values are
+    /// clamped on read, not on the wire).
+    pub loss_permille: u16,
+}
+
+impl FeedbackFrame {
+    /// Build a report from the gateway's fractional loss estimate
+    /// (rounded to permille — the quantization the wire carries).
+    pub fn for_loss(device_id: u32, loss: f64) -> Self {
+        FeedbackFrame {
+            device_id,
+            loss_permille: (loss * 1000.0).round() as u16,
+        }
+    }
+
+    /// The loss estimate as a fraction, clamped to `[0, 1]`.
+    pub fn loss(&self) -> f64 {
+        (self.loss_permille as f64 / 1000.0).min(1.0)
+    }
+
+    /// Serialize to the 10-byte downlink payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(10);
+        frame.extend_from_slice(&FEEDBACK_MAGIC);
+        frame.extend_from_slice(&self.device_id.to_be_bytes());
+        frame.extend_from_slice(&self.loss_permille.to_be_bytes());
+        frame
+    }
+
+    /// Parse a downlink payload; `None` if it is short or not a
+    /// feedback frame (trailing bytes are tolerated, for forward
+    /// compatibility).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 10 || bytes[..4] != FEEDBACK_MAGIC {
+            return None;
+        }
+        Some(FeedbackFrame {
+            device_id: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            loss_permille: u16::from_be_bytes([bytes[8], bytes[9]]),
+        })
+    }
+}
+
 /// A receive-window announcement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RxWindow {
@@ -149,6 +207,37 @@ pub fn device_twoway_cycle(
 mod tests {
     use super::*;
     use wile_radio::medium::RadioConfig;
+
+    #[test]
+    fn feedback_frame_round_trip() {
+        let f = FeedbackFrame::for_loss(0x0102_0304, 0.2185);
+        assert_eq!(f.loss_permille, 219); // rounded, not truncated
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(&bytes[..4], b"WLFB");
+        assert_eq!(FeedbackFrame::decode(&bytes), Some(f));
+        assert!((f.loss() - 0.219).abs() < 1e-12);
+        // Trailing bytes tolerated; short or wrong-magic frames refused.
+        let mut long = bytes.clone();
+        long.push(0xFF);
+        assert_eq!(FeedbackFrame::decode(&long), Some(f));
+        assert_eq!(FeedbackFrame::decode(&bytes[..9]), None);
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert_eq!(FeedbackFrame::decode(&bad), None);
+    }
+
+    #[test]
+    fn feedback_loss_clamps_to_unit_interval() {
+        // A wire value above 1000 permille (possible from a buggy or
+        // foreign encoder) reads back as 100% loss, never more.
+        let f = FeedbackFrame {
+            device_id: 1,
+            loss_permille: 5_000,
+        };
+        assert_eq!(FeedbackFrame::decode(&f.encode()), Some(f));
+        assert_eq!(f.loss(), 1.0);
+    }
 
     #[test]
     fn window_round_trip() {

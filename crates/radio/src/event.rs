@@ -3,7 +3,7 @@
 //! Events are `(Instant, T)` pairs popped in time order; ties break by
 //! insertion order so runs are reproducible regardless of payload type.
 
-use crate::time::Instant;
+use crate::time::{Duration, Instant};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -51,6 +51,7 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     next_seq: u64,
     now: Instant,
+    monotonic: bool,
 }
 
 impl<T> EventQueue<T> {
@@ -60,16 +61,54 @@ impl<T> EventQueue<T> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Instant::ZERO,
+            monotonic: false,
         }
+    }
+
+    /// Debug-assert that every [`EventQueue::schedule`] targets the
+    /// present or future (`at >=` the last popped event's time). The
+    /// simulation kernel enables this so a past-scheduling bug fails
+    /// loudly in debug builds instead of silently firing "immediately";
+    /// release builds pay nothing.
+    pub fn assert_monotonic(&mut self, on: bool) {
+        self.monotonic = on;
     }
 
     /// Schedule `payload` to fire at `at`. Scheduling in the past (before
     /// the last popped event) is allowed but will fire "immediately" in
-    /// pop order; callers that care should assert monotonicity themselves.
+    /// pop order; callers that care should enable
+    /// [`EventQueue::assert_monotonic`] or use
+    /// [`EventQueue::schedule_after`].
     pub fn schedule(&mut self, at: Instant, payload: T) {
+        if self.monotonic {
+            debug_assert!(
+                at >= self.now,
+                "scheduled an event in the past: {at} < now {}",
+                self.now
+            );
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Schedule `payload` to fire `delay` after `now` and return the
+    /// resulting absolute time. Because the target is expressed as a
+    /// forward offset from the caller's clock, it can never land before
+    /// `now` — the safe form for self-rescheduling actors.
+    ///
+    /// `now` is asserted (debug builds) to be at or after the queue's
+    /// own notion of the present, catching callers whose local clock
+    /// fell behind the events already popped.
+    pub fn schedule_after(&mut self, now: Instant, delay: Duration, payload: T) -> Instant {
+        debug_assert!(
+            now >= self.now,
+            "caller clock {now} lags the queue's now {}",
+            self.now
+        );
+        let at = now + delay;
+        self.schedule(at, payload);
+        at
     }
 
     /// Pop the earliest event, advancing the queue's notion of "now".
@@ -179,5 +218,54 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn past_scheduling_fires_immediately_without_monotonic_mode() {
+        // The documented legacy behaviour: a past event is accepted and
+        // pops before anything later, in FIFO order among the overdue.
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_ms(50), "future");
+        q.pop();
+        assert_eq!(q.now(), Instant::from_ms(50));
+        q.schedule(Instant::from_ms(10), "late-a");
+        q.schedule(Instant::from_ms(10), "late-b");
+        q.schedule(Instant::from_ms(60), "on-time");
+        assert_eq!(q.pop(), Some((Instant::from_ms(10), "late-a")));
+        assert_eq!(q.pop(), Some((Instant::from_ms(10), "late-b")));
+        // `now` never runs backwards even when overdue events fire.
+        assert_eq!(q.now(), Instant::from_ms(50));
+        assert_eq!(q.pop(), Some((Instant::from_ms(60), "on-time")));
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        should_panic(expected = "scheduled an event in the past")
+    )]
+    fn monotonic_mode_rejects_past_scheduling_in_debug() {
+        let mut q = EventQueue::new();
+        q.assert_monotonic(true);
+        q.schedule(Instant::from_ms(50), ());
+        q.pop();
+        q.schedule(Instant::from_ms(10), ());
+        // In release builds the debug_assert compiles out and the event
+        // is accepted (legacy behaviour); make the test pass there too.
+        #[cfg(not(debug_assertions))]
+        panic!("scheduled an event in the past (release-mode stand-in)");
+    }
+
+    #[test]
+    fn schedule_after_lands_at_now_plus_delay() {
+        let mut q = EventQueue::new();
+        q.assert_monotonic(true);
+        q.schedule(Instant::from_ms(5), "seed");
+        let (t, _) = q.pop().unwrap();
+        let at = q.schedule_after(t, Duration::from_ms(7), "next");
+        assert_eq!(at, Instant::from_ms(12));
+        assert_eq!(q.pop(), Some((Instant::from_ms(12), "next")));
+        // Zero delay is valid: fires at `now`, after nothing.
+        q.schedule_after(at, Duration::ZERO, "immediate");
+        assert_eq!(q.pop(), Some((Instant::from_ms(12), "immediate")));
     }
 }

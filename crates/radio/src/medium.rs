@@ -35,7 +35,7 @@
 //! tests in `tests/props.rs` enforce over random topologies.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::channel::ChannelModel;
 use crate::per::packet_error_rate;
@@ -110,22 +110,17 @@ struct Transmission {
 /// interferer for the receiver to capture it anyway.
 pub const CAPTURE_MARGIN_DB: f64 = 10.0;
 
-/// Memoized per-link received power: one slot per (tx radio, rx radio)
-/// pair, keyed by the transmit power it was computed for (radios almost
-/// always transmit at one power, so a single slot per link suffices).
+/// Memoized per-link received power, stored sparsely: fleets exercise
+/// O(active links) pairs — a 10k-device star topology touches 10k
+/// links, not the 10⁸ a dense matrix would allocate (and re-zero on
+/// every attach, making setup O(radios³) overall). Positions are fixed
+/// at attach, so entries never go stale. Each entry is keyed by the
+/// transmit power it was computed for (radios almost always transmit
+/// at one power, so a single slot per link suffices).
 #[derive(Debug, Clone, Default)]
 struct LinkCache {
-    radios: usize,
-    /// `slots[from * radios + to]` = (tx power bits, rx power dBm).
-    slots: Vec<Option<(u64, f64)>>,
-}
-
-impl LinkCache {
-    fn reset(&mut self, radios: usize) {
-        self.radios = radios;
-        self.slots.clear();
-        self.slots.resize(radios * radios, None);
-    }
+    /// `(from, to)` → (tx power bits, rx power dBm).
+    slots: HashMap<(u32, u32), (u64, f64)>,
 }
 
 /// The shared broadcast medium.
@@ -200,7 +195,6 @@ impl Medium {
         self.radios.push(cfg);
         self.cursors.push(self.base);
         self.drained_to.push(Instant::ZERO);
-        self.cache.borrow_mut().reset(self.radios.len());
         RadioId(self.radios.len() as u32 - 1)
     }
 
@@ -386,6 +380,36 @@ impl Medium {
         self.maybe_retire();
     }
 
+    /// [`Medium::release`] for every attached radio at once, in one
+    /// pass: O(retained + radios) instead of radios × (scan +
+    /// retirement check). This is what makes 10k-radio fleets viable —
+    /// a gateway that polls every few seconds would otherwise spend
+    /// O(radios²) per poll advancing transmit-only cursors one radio at
+    /// a time.
+    ///
+    /// Receivers that still want frames ending by `up_to` must drain
+    /// ([`Medium::take_inbox`]) *before* this is called; afterwards that
+    /// history is considered consumed for everyone.
+    pub fn release_all(&mut self, up_to: Instant) {
+        // The stop index is the same for every radio: the first retained
+        // transmission still in flight at `up_to`. Computing it once
+        // replaces the per-radio scan.
+        let end = self.base + self.txs.len() as u64;
+        let mut boundary = self.base;
+        while boundary < end && self.tx(boundary).end <= up_to {
+            boundary += 1;
+        }
+        for r in 0..self.radios.len() {
+            if self.cursors[r] < boundary {
+                self.cursors[r] = boundary;
+            }
+            if up_to > self.drained_to[r] {
+                self.drained_to[r] = up_to;
+            }
+        }
+        self.maybe_retire();
+    }
+
     /// Drop the longest prefix of transmissions that (a) every cursor
     /// has passed, (b) every receiver has drained past in time, and
     /// (c) cannot overlap any unconsumed or future transmission — so
@@ -443,10 +467,9 @@ impl Medium {
     /// keyed by the transmit power's bit pattern, so memoized and fresh
     /// values are bit-identical.
     fn rx_power(&self, tx: &Transmission, listener: RadioId) -> f64 {
-        let n = self.radios.len();
-        let slot = tx.from.0 as usize * n + listener.0 as usize;
+        let key = (tx.from.0, listener.0);
         let bits = tx.params.power_dbm.to_bits();
-        if let Some((power, value)) = self.cache.borrow().slots[slot] {
+        if let Some(&(power, value)) = self.cache.borrow().slots.get(&key) {
             if power == bits {
                 return value;
             }
@@ -456,7 +479,7 @@ impl Medium {
         let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
         let value =
             self.model.rx_power_dbm(tx.params.power_dbm, d) + self.shadow_db(tx.from, listener);
-        self.cache.borrow_mut().slots[slot] = Some((bits, value));
+        self.cache.borrow_mut().slots.insert(key, (bits, value));
         value
     }
 
@@ -621,6 +644,45 @@ mod tests {
         });
         m.transmit(a, Instant::from_ms(1), quiet_params(), b"x".to_vec());
         assert!(m.take_inbox(b, Instant::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn release_all_matches_per_radio_release() {
+        // Same traffic through two bounded media; one releases radio by
+        // radio, the other in one batch. Cursor/retirement state and the
+        // frames a later drain returns must agree.
+        let build = || {
+            let mut m = Medium::new(ChannelModel::default(), 3);
+            let radios: Vec<RadioId> = (0..4)
+                .map(|i| {
+                    m.attach(RadioConfig {
+                        position_m: (i as f64, 0.0),
+                        ..Default::default()
+                    })
+                })
+                .collect();
+            m.retire_consumed(true);
+            for k in 0..200u64 {
+                let from = radios[(k % 4) as usize];
+                m.transmit(from, Instant::from_ms(k), quiet_params(), vec![k as u8]);
+            }
+            (m, radios)
+        };
+        let cut = Instant::from_ms(150);
+        let (mut a, radios_a) = build();
+        for &r in &radios_a {
+            a.release(r, cut);
+        }
+        let (mut b, radios_b) = build();
+        b.release_all(cut);
+        assert_eq!(a.live_tx_count(), b.live_tx_count());
+        assert_eq!(a.retired_tx_count(), b.retired_tx_count());
+        assert!(b.retired_tx_count() > 0, "batch release enables retirement");
+        for (&ra, &rb) in radios_a.iter().zip(&radios_b) {
+            let fa = a.take_inbox(ra, Instant::from_secs(1));
+            let fb = b.take_inbox(rb, Instant::from_secs(1));
+            assert_eq!(fa, fb);
+        }
     }
 
     #[test]

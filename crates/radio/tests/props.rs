@@ -110,6 +110,80 @@ proptest! {
     }
 
     #[test]
+    fn event_queue_ties_stay_fifo_under_interleaved_schedule_and_pop(
+        // Each op: (schedule-time bucket, pops to attempt before the next
+        // schedule). Few buckets → many exact-time ties, which is the
+        // property under test: ties must pop in schedule order even when
+        // pops are interleaved between the schedules.
+        ops in prop::collection::vec((0u64..6, 0usize..3), 1..120),
+    ) {
+        let mut q = EventQueue::new();
+        // Popping mid-stream moves `now` forward; later schedules into
+        // earlier buckets are "past" events, which the queue documents
+        // as firing immediately — exclude them from the FIFO claim by
+        // scheduling relative to the queue's own now.
+        let mut scheduled = 0u64;
+        let mut popped: Vec<(Instant, u64)> = Vec::new();
+        for &(bucket, pops) in &ops {
+            let at = q.now() + Duration::from_ms(bucket);
+            q.schedule(at, scheduled);
+            scheduled += 1;
+            for _ in 0..pops {
+                if let Some(e) = q.pop() {
+                    popped.push(e);
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len() as u64, scheduled);
+        // Among events popped in one drain stretch, equal times must
+        // preserve schedule order (payload = schedule ordinal).
+        for w in popped.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(
+                    w[0].1 < w[1].1,
+                    "tie at {} popped out of schedule order: {} before {}",
+                    w[0].0, w[0].1, w[1].1
+                );
+            }
+        }
+        // And every event was popped exactly once.
+        let mut ids: Vec<u64> = popped.iter().map(|e| e.1).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..scheduled).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_until_includes_boundary_and_leaves_the_rest(
+        times in prop::collection::vec(0u64..2_000, 1..150),
+        deadline in 0u64..2_000,
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &us) in times.iter().enumerate() {
+            q.schedule(Instant::from_us(us), i);
+        }
+        let deadline = Instant::from_us(deadline);
+        let drained = q.drain_until(deadline);
+        // Exactly the events at-or-before the deadline come out —
+        // boundary *inclusive* — and everything later stays queued.
+        let expect = times.iter().filter(|&&us| Instant::from_us(us) <= deadline).count();
+        prop_assert_eq!(drained.len(), expect);
+        prop_assert_eq!(q.len(), times.len() - expect);
+        for (t, _) in &drained {
+            prop_assert!(*t <= deadline);
+        }
+        if let Some(next) = q.peek_time() {
+            prop_assert!(next > deadline);
+        }
+        // Drained events are themselves time-ordered with FIFO ties.
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
     fn duration_arithmetic_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
         let da = Duration::from_nanos(a);
         let db = Duration::from_nanos(b);

@@ -249,28 +249,19 @@ pub fn twoway_cadence_sweep_par(
 }
 
 fn cadence_point(window_every: usize, cycles: usize) -> CadencePoint {
-    use wile::session::{run_session, CommandQueue};
-    let mut medium = Medium::new(Default::default(), 88);
-    let dev = medium.attach(RadioConfig::default());
-    let gw = medium.attach(RadioConfig {
-        position_m: (2.0, 0.0),
-        ..Default::default()
-    });
-    let mut inj = Injector::new(DeviceIdentity::new(4), Instant::ZERO);
-    let mut queue = CommandQueue::new();
-    for i in 0..cycles {
-        queue.push(4, format!("cmd{i}").as_bytes());
-    }
-    let out = run_session(
-        &mut medium,
-        dev,
-        gw,
-        &mut inj,
-        &mut queue,
+    // Each point is one kernel-driven session (see `crate::session`,
+    // differentially tested against the synchronous runner).
+    let out = crate::session::run_session_kernel(&crate::session::SessionConfig {
+        device_id: 4,
+        seed: 88,
         cycles,
         window_every,
-        Duration::from_secs(10),
-    );
+        period: Duration::from_secs(10),
+        commands: (0..cycles)
+            .map(|i| format!("cmd{i}").into_bytes())
+            .collect(),
+        gw_position_m: (2.0, 0.0),
+    });
     CadencePoint {
         window_every,
         listen_time_s: out.device_listen_time.as_secs_f64(),

@@ -10,6 +10,18 @@
 //! compared head-to-head against a static baseline on the same seeded
 //! timeline.
 //!
+//! ## Two runners, one report
+//!
+//! [`run_campaign`] executes on the `wile-sim` actor kernel
+//! ([`actors`]): each device is an actor, the gateway is an actor, and
+//! the fault timeline and medium are kernel-owned shared state. The
+//! pre-refactor hand-rolled event loop is retained verbatim as
+//! [`reference::run_campaign_reference`], and differential tests
+//! (`tests/sim_diff.rs`) prove both produce byte-identical
+//! [`CampaignReport`]s across seeds, adapt modes, and worker counts —
+//! the same technique `wile_radio::NaiveMedium` uses to guard the
+//! indexed medium.
+//!
 //! ## Determinism and event ordering
 //!
 //! [`wile_radio::Medium`] requires transmissions in non-decreasing
@@ -22,36 +34,35 @@
 //! another event is scheduled inside that exchange's window.
 //!
 //! Channel faults are applied gateway-side: frames are pulled raw from
-//! the medium, run through the seeded [`FaultTimeline`] keyed by their
-//! arrival instant, and only survivors reach [`Gateway::ingest`]. Two
-//! runs with the same config therefore produce byte-identical reports.
+//! the medium, run through the seeded [`wile_radio::plan::FaultTimeline`] keyed by their
+//! arrival instant, and only survivors reach `Gateway::ingest` (the
+//! shared [`wile_sim::GatewayIngest`] stage). Two runs with the same
+//! config therefore produce byte-identical reports.
+
+pub mod actors;
+pub mod reference;
 
 use std::collections::HashSet;
 use wile::inject::{InjectReport, Injector};
 use wile::linkhealth::{LinkHealthConfig, LinkStatus};
-use wile::message::Message;
-use wile::monitor::{Gateway, Received};
+use wile::monitor::Gateway;
 use wile::registry::DeviceIdentity;
 use wile::reliability::{AdaptiveConfig, AdaptiveRepeat, RepeatPolicy};
 use wile::twoway::RxWindow;
 use wile_instrument::energy::energy_mj;
 use wile_radio::clock::DriftClock;
-use wile_radio::fault::FaultOutcome;
-use wile_radio::medium::{Medium, RadioConfig, RadioId, TxParams};
-use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
+use wile_radio::medium::{Medium, RadioConfig, RadioId};
+use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan};
 use wile_radio::time::{Duration, Instant};
-use wile_radio::EventQueue;
 
-/// Magic prefix of the gateway's loss-report downlink frame.
-const FEEDBACK_MAGIC: [u8; 4] = *b"WLFB";
 /// Receive window announced by two-way (feedback) beacons.
-const FEEDBACK_WINDOW: RxWindow = RxWindow {
+pub(crate) const FEEDBACK_WINDOW: RxWindow = RxWindow {
     offset_us: 300,
     length_us: 2_000,
 };
 /// Minimum clearance to the next scheduled event for a two-way exchange
 /// to proceed (the exchange occupies ~3 ms after the beacon).
-const TWOWAY_GUARD: Duration = Duration::from_ms(10);
+pub(crate) const TWOWAY_GUARD: Duration = Duration::from_ms(10);
 
 /// How devices choose their repeat policy during the campaign.
 #[derive(Debug, Clone)]
@@ -300,69 +311,73 @@ impl CampaignReport {
     }
 }
 
-/// One device's runtime state.
-struct Dev {
-    inj: Injector,
-    radio: RadioId,
-    clock: DriftClock,
-    adaptive: Option<AdaptiveRepeat>,
-    static_policy: RepeatPolicy,
-    applied_skew_ppm: f64,
-    msg_count: u64,
-    reports: Vec<InjectReport>,
+/// One device's runtime state — shared by the kernel actor and the
+/// reference runner so both fold through the same [`summarize`].
+pub(crate) struct Dev {
+    pub(crate) inj: Injector,
+    pub(crate) radio: RadioId,
+    pub(crate) clock: DriftClock,
+    pub(crate) adaptive: Option<AdaptiveRepeat>,
+    pub(crate) static_policy: RepeatPolicy,
+    pub(crate) applied_skew_ppm: f64,
+    pub(crate) msg_count: u64,
+    pub(crate) reports: Vec<InjectReport>,
     /// (seq, wake time of first copy) per message.
-    msgs: Vec<(u16, Instant)>,
+    pub(crate) msgs: Vec<(u16, Instant)>,
     /// Arrival times of this device's delivered messages, in order.
-    arrivals: Vec<Instant>,
-    feedback_received: u64,
+    pub(crate) arrivals: Vec<Instant>,
+    pub(crate) feedback_received: u64,
 }
 
 impl Dev {
-    fn policy(&self) -> RepeatPolicy {
+    pub(crate) fn policy(&self) -> RepeatPolicy {
         match &self.adaptive {
             Some(a) => a.policy(),
             None => self.static_policy,
         }
     }
-}
 
-enum Ev {
-    /// Start of a message round for device `i`.
-    Msg(usize),
-    /// One repeat copy of an in-flight message.
-    Copy { dev: usize, seq: u16 },
-    /// Periodic gateway poll.
-    Poll,
-}
-
-/// Pull raw frames from the gateway radio, apply the fault timeline,
-/// and feed survivors through the gateway pipeline.
-fn drain_gateway(
-    medium: &mut Medium,
-    gw_radio: RadioId,
-    up_to: Instant,
-    tl: &mut FaultTimeline,
-    gw: &mut Gateway,
-) -> Vec<Received> {
-    let mut survivors = Vec::new();
-    for mut f in medium.take_inbox(gw_radio, up_to) {
-        if tl.gateway_down(f.at) {
-            continue;
+    /// Build device `i` of a campaign fleet: identity, drift clock, and
+    /// adaptation state all derive from the config the same way in both
+    /// runners.
+    pub(crate) fn build(cfg: &CampaignConfig, i: usize, radio: RadioId) -> Dev {
+        let adaptive = match &cfg.mode {
+            AdaptMode::Static(_) => None,
+            AdaptMode::Feedback { cfg: a, .. } | AdaptMode::Blind(a) => {
+                Some(AdaptiveRepeat::new(*a))
+            }
+        };
+        let static_policy = match &cfg.mode {
+            AdaptMode::Static(p) => *p,
+            _ => RepeatPolicy::SINGLE,
+        };
+        Dev {
+            inj: Injector::new(DeviceIdentity::new(i as u32 + 1), Instant::ZERO),
+            radio,
+            clock: DriftClock::iot_grade(cfg.seed.wrapping_add(i as u64 * 7919)),
+            adaptive,
+            static_policy,
+            applied_skew_ppm: 0.0,
+            msg_count: 0,
+            reports: Vec::new(),
+            msgs: Vec::new(),
+            arrivals: Vec::new(),
+            feedback_received: 0,
         }
-        if tl.apply(f.at, &mut f.bytes) == FaultOutcome::Dropped {
-            continue;
-        }
-        // Corrupted frames pass through — the gateway's FCS check is
-        // the component under test for those.
-        survivors.push(f);
     }
-    gw.ingest(survivors)
+
+    /// The circle position of device `i`.
+    pub(crate) fn position(cfg: &CampaignConfig, i: usize) -> (f64, f64) {
+        let angle = i as f64 / cfg.devices as f64 * std::f64::consts::TAU;
+        (cfg.radius_m * angle.cos(), cfg.radius_m * angle.sin())
+    }
 }
 
-const PAYLOAD: &[u8] = b"reading";
+pub(crate) const PAYLOAD: &[u8] = b"reading";
 
-/// Run one campaign.
-pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+/// Validate the config and measure the wake cycle; shared preamble of
+/// both runners. Returns (wake→on-air latency, full cycle).
+pub(crate) fn check_config(cfg: &CampaignConfig) -> (Duration, Duration) {
     assert!(cfg.devices >= 1);
     // The ESP32 wake → on-air latency is a deterministic constant;
     // measure it once so phase attribution can reason in on-air time.
@@ -378,167 +393,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         cfg.period > cfg.copy_spacing.mul(super_max_copies(&cfg.mode) as u64),
         "period too short for the worst-case copy train"
     );
+    (latency, cycle)
+}
 
-    let mut medium = Medium::new(Default::default(), cfg.seed);
-    // Long campaigns must not retain every beacon payload forever: the
-    // gateway drains continuously and devices release consumed history
-    // at every poll tick, so the medium runs in bounded memory.
-    medium.retire_consumed(true);
-    let gw_radio = medium.attach(RadioConfig::default());
-    let mut gw = Gateway::with_link_health(cfg.link);
-    let mut tl = FaultTimeline::new(cfg.plan.clone());
-
-    let mut devs: Vec<Dev> = (0..cfg.devices)
-        .map(|i| {
-            let angle = i as f64 / cfg.devices as f64 * std::f64::consts::TAU;
-            let radio = medium.attach(RadioConfig {
-                position_m: (cfg.radius_m * angle.cos(), cfg.radius_m * angle.sin()),
-                ..Default::default()
-            });
-            let adaptive = match &cfg.mode {
-                AdaptMode::Static(_) => None,
-                AdaptMode::Feedback { cfg: a, .. } | AdaptMode::Blind(a) => {
-                    Some(AdaptiveRepeat::new(*a))
-                }
-            };
-            let static_policy = match &cfg.mode {
-                AdaptMode::Static(p) => *p,
-                _ => RepeatPolicy::SINGLE,
-            };
-            Dev {
-                inj: Injector::new(DeviceIdentity::new(i as u32 + 1), Instant::ZERO),
-                radio,
-                clock: DriftClock::iot_grade(cfg.seed.wrapping_add(i as u64 * 7919)),
-                adaptive,
-                static_policy,
-                applied_skew_ppm: 0.0,
-                msg_count: 0,
-                reports: Vec::new(),
-                msgs: Vec::new(),
-                arrivals: Vec::new(),
-                feedback_received: 0,
-            }
-        })
-        .collect();
-
-    let end = Instant::ZERO + cfg.duration;
-    let horizon = end + cfg.period + Duration::from_secs(2);
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    for i in 0..cfg.devices {
-        queue.schedule(
-            Instant::from_secs(1) + Duration::from_ms(137 * i as u64),
-            Ev::Msg(i),
-        );
-    }
-    let mut poll_at = Instant::ZERO + cfg.poll_every;
-    while poll_at < horizon {
-        queue.schedule(poll_at, Ev::Poll);
-        poll_at += cfg.poll_every;
-    }
-    queue.schedule(horizon, Ev::Poll);
-
-    let mut delivered: HashSet<(u32, u16)> = HashSet::new();
-    let mut evicted: Vec<u32> = Vec::new();
-    let mut record = |devs: &mut Vec<Dev>, got: Vec<Received>| {
-        for r in got {
-            let idx = (r.device_id - 1) as usize;
-            if delivered.insert((r.device_id, r.seq)) {
-                devs[idx].arrivals.push(r.at);
-            }
-        }
-    };
-
-    while let Some((t, ev)) = queue.pop() {
-        match ev {
-            Ev::Poll => {
-                let got = drain_gateway(&mut medium, gw_radio, t, &mut tl, &mut gw);
-                record(&mut devs, got);
-                // Devices only read their radios inside feedback
-                // windows, which always open after the current instant;
-                // waive everything older so it can be retired.
-                for d in &devs {
-                    medium.release(d.radio, t);
-                }
-                if let Some(h) = gw.link_health_mut() {
-                    evicted.extend(h.evict_stale(t));
-                }
-            }
-            Ev::Copy { dev, seq } => {
-                let d = &mut devs[dev];
-                d.inj.sleep_until(t);
-                let msg = Message::new(dev as u32 + 1, seq, PAYLOAD);
-                let rep = d.inj.inject_message(&mut medium, d.radio, &msg);
-                d.reports.push(rep);
-            }
-            Ev::Msg(dev) => {
-                if t > end {
-                    continue;
-                }
-                // Clock-skew phases shift the oscillator while active.
-                let want_skew = tl.skew_ppm(t);
-                if want_skew != devs[dev].applied_skew_ppm {
-                    let delta = want_skew - devs[dev].applied_skew_ppm;
-                    devs[dev].clock.shift_ppm(delta);
-                    devs[dev].applied_skew_ppm = want_skew;
-                }
-                // Blind adaptation samples carrier sense at wake.
-                if matches!(cfg.mode, AdaptMode::Blind(_)) {
-                    let busy = tl.air_busy(t);
-                    devs[dev].adaptive.as_mut().unwrap().observe_air_busy(busy);
-                }
-                let policy = devs[dev].policy();
-                let wants_feedback = match &cfg.mode {
-                    AdaptMode::Feedback { every, .. } => {
-                        devs[dev].msg_count.is_multiple_of((*every).max(1) as u64)
-                    }
-                    _ => false,
-                };
-                // The two-way exchange transmits a gateway reply just
-                // after the beacon; skip it if any other event lands
-                // inside that window (transmit order must stay
-                // monotone).
-                let clear_air = match queue.peek_time() {
-                    Some(next) => next >= t + TWOWAY_GUARD,
-                    None => true,
-                };
-                devs[dev].msg_count += 1;
-
-                let seq = if wants_feedback && clear_air {
-                    let (seq, got) = run_feedback_round(
-                        &mut devs[dev],
-                        &mut medium,
-                        gw_radio,
-                        &mut gw,
-                        &mut tl,
-                        t,
-                    );
-                    record(&mut devs, got);
-                    seq
-                } else {
-                    let d = &mut devs[dev];
-                    d.inj.sleep_until(t);
-                    let rep = d.inj.inject(&mut medium, d.radio, PAYLOAD);
-                    let seq = rep.seq;
-                    d.reports.push(rep);
-                    seq
-                };
-                devs[dev].msgs.push((seq, t));
-                for j in 1..policy.copies {
-                    queue.schedule(t + cfg.copy_spacing.mul(j as u64), Ev::Copy { dev, seq });
-                }
-                let backoff = devs[dev]
-                    .adaptive
-                    .as_ref()
-                    .map(|a| a.period_backoff())
-                    .unwrap_or(Duration::ZERO);
-                let next = devs[dev].clock.wake_after(t, cfg.period + backoff);
-                if next <= end {
-                    queue.schedule(next, Ev::Msg(dev));
-                }
-            }
-        }
-    }
-    summarize(cfg, latency, devs, &mut gw, delivered, evicted, horizon)
+/// Run one campaign on the `wile-sim` actor kernel.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    actors::run_campaign_kernel(cfg)
 }
 
 /// The largest copy count the configured mode can reach (for the
@@ -564,75 +424,8 @@ fn wake_to_air_latency() -> (Duration, Duration) {
     (start.since(Instant::ZERO), inj.now().since(Instant::ZERO))
 }
 
-/// One two-way message round: beacon with RX window, gateway polls what
-/// arrived (through the fault timeline), replies with its loss
-/// estimate, device listens and adapts. Returns the message seq and any
-/// deliveries the mid-round gateway poll produced.
-fn run_feedback_round(
-    d: &mut Dev,
-    medium: &mut Medium,
-    gw_radio: RadioId,
-    gw: &mut Gateway,
-    tl: &mut FaultTimeline,
-    t: Instant,
-) -> (u16, Vec<Received>) {
-    d.inj.sleep_until(t);
-    let rep = d
-        .inj
-        .inject_twoway(medium, d.radio, PAYLOAD, FEEDBACK_WINDOW);
-    let seq = rep.seq;
-    let (open, close) = FEEDBACK_WINDOW.absolute(rep.t_tx_end);
-    // Gateway side: catch up on arrivals (including this beacon, if the
-    // channel let it through) and answer inside the window.
-    let got = drain_gateway(medium, gw_radio, open, tl, gw);
-
-    let device_id = d.inj.identity().device_id;
-    let reply_at = open + Duration::from_us(300);
-    let loss = gw.link_health().and_then(|h| h.loss_estimate(device_id));
-    if let Some(loss) = loss {
-        if !tl.gateway_down(reply_at) {
-            let mut frame = Vec::with_capacity(10);
-            frame.extend_from_slice(&FEEDBACK_MAGIC);
-            frame.extend_from_slice(&device_id.to_be_bytes());
-            frame.extend_from_slice(&((loss * 1000.0).round() as u16).to_be_bytes());
-            medium.transmit(
-                gw_radio,
-                reply_at,
-                TxParams {
-                    airtime: Duration::from_us(60),
-                    power_dbm: 0.0,
-                    min_snr_db: 5.0,
-                },
-                frame,
-            );
-        }
-    }
-    // Device listens through its announced window.
-    if let Some(bytes) = d.inj.listen_window(medium, d.radio, open, close) {
-        if let Some((id, loss)) = parse_feedback(&bytes) {
-            if id == device_id {
-                if let Some(a) = d.adaptive.as_mut() {
-                    a.record_feedback(loss);
-                }
-                d.feedback_received += 1;
-            }
-        }
-    }
-    d.reports.push(rep);
-    (seq, got)
-}
-
-fn parse_feedback(bytes: &[u8]) -> Option<(u32, f64)> {
-    if bytes.len() < 10 || bytes[..4] != FEEDBACK_MAGIC {
-        return None;
-    }
-    let id = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-    let permille = u16::from_be_bytes([bytes[8], bytes[9]]);
-    Some((id, (permille as f64 / 1000.0).min(1.0)))
-}
-
 /// Fold the raw run state into the report.
-fn summarize(
+pub(crate) fn summarize(
     cfg: &CampaignConfig,
     latency: Duration,
     devs: Vec<Dev>,

@@ -1,0 +1,241 @@
+//! The pre-kernel campaign runner, retained verbatim as a differential
+//! oracle.
+//!
+//! This is the hand-rolled event loop the campaign shipped with before
+//! the `wile-sim` port: one `EventQueue` over a three-variant event
+//! enum, with the device lifecycle, gateway polling, and the two-way
+//! feedback exchange all inlined into a single `match`. The kernel
+//! runner ([`super::actors`]) must reproduce its output byte-for-byte —
+//! `tests/sim_diff.rs` asserts [`super::run_campaign`] and
+//! [`run_campaign_reference`] return equal [`CampaignReport`]s (and
+//! equal renderings) across seeds, adapt modes, and worker counts.
+//!
+//! Only the shared primitives extracted by this refactor are used here
+//! too — [`GatewayIngest::drain`] for the fault-filtered gateway pull
+//! and [`FeedbackFrame`] for the loss-report downlink — so the
+//! differential test exercises the *orchestration* difference, not a
+//! re-implementation of frame formats.
+
+use super::{
+    check_config, summarize, AdaptMode, CampaignConfig, CampaignReport, Dev, FEEDBACK_WINDOW,
+    PAYLOAD, TWOWAY_GUARD,
+};
+use std::collections::HashSet;
+use wile::message::Message;
+use wile::monitor::{Gateway, Received};
+use wile::twoway::FeedbackFrame;
+use wile_radio::medium::{Medium, RadioConfig, TxParams};
+use wile_radio::plan::FaultTimeline;
+use wile_radio::time::{Duration, Instant};
+use wile_radio::EventQueue;
+use wile_sim::GatewayIngest;
+
+enum Ev {
+    /// Start of a message round for device `i`.
+    Msg(usize),
+    /// One repeat copy of an in-flight message.
+    Copy { dev: usize, seq: u16 },
+    /// Periodic gateway poll.
+    Poll,
+}
+
+/// Run one campaign on the retained pre-refactor event loop.
+pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
+    let (latency, _cycle) = check_config(cfg);
+
+    let mut medium = Medium::new(Default::default(), cfg.seed);
+    // Long campaigns must not retain every beacon payload forever: the
+    // gateway drains continuously and devices release consumed history
+    // at every poll tick, so the medium runs in bounded memory.
+    medium.retire_consumed(true);
+    let gw_radio = medium.attach(RadioConfig::default());
+    let mut ingest = GatewayIngest::new(gw_radio, Gateway::with_link_health(cfg.link));
+    let mut tl = FaultTimeline::new(cfg.plan.clone());
+
+    let mut devs: Vec<Dev> = (0..cfg.devices)
+        .map(|i| {
+            let radio = medium.attach(RadioConfig {
+                position_m: Dev::position(cfg, i),
+                ..Default::default()
+            });
+            Dev::build(cfg, i, radio)
+        })
+        .collect();
+
+    let end = Instant::ZERO + cfg.duration;
+    let horizon = end + cfg.period + Duration::from_secs(2);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for i in 0..cfg.devices {
+        queue.schedule(
+            Instant::from_secs(1) + Duration::from_ms(137 * i as u64),
+            Ev::Msg(i),
+        );
+    }
+    let mut poll_at = Instant::ZERO + cfg.poll_every;
+    while poll_at < horizon {
+        queue.schedule(poll_at, Ev::Poll);
+        poll_at += cfg.poll_every;
+    }
+    queue.schedule(horizon, Ev::Poll);
+
+    let mut delivered: HashSet<(u32, u16)> = HashSet::new();
+    let mut evicted: Vec<u32> = Vec::new();
+    let mut record = |devs: &mut Vec<Dev>, got: Vec<Received>| {
+        for r in got {
+            let idx = (r.device_id - 1) as usize;
+            if delivered.insert((r.device_id, r.seq)) {
+                devs[idx].arrivals.push(r.at);
+            }
+        }
+    };
+
+    while let Some((t, ev)) = queue.pop() {
+        match ev {
+            Ev::Poll => {
+                let got = ingest.drain(&mut medium, Some(&mut tl), t);
+                record(&mut devs, got);
+                // Devices only read their radios inside feedback
+                // windows, which always open after the current instant;
+                // waive everything older so it can be retired.
+                for d in &devs {
+                    medium.release(d.radio, t);
+                }
+                if let Some(h) = ingest.gateway_mut().link_health_mut() {
+                    evicted.extend(h.evict_stale(t));
+                }
+            }
+            Ev::Copy { dev, seq } => {
+                let d = &mut devs[dev];
+                d.inj.sleep_until(t);
+                let msg = Message::new(dev as u32 + 1, seq, PAYLOAD);
+                let rep = d.inj.inject_message(&mut medium, d.radio, &msg);
+                d.reports.push(rep);
+            }
+            Ev::Msg(dev) => {
+                if t > end {
+                    continue;
+                }
+                // Clock-skew phases shift the oscillator while active.
+                let want_skew = tl.skew_ppm(t);
+                if want_skew != devs[dev].applied_skew_ppm {
+                    let delta = want_skew - devs[dev].applied_skew_ppm;
+                    devs[dev].clock.shift_ppm(delta);
+                    devs[dev].applied_skew_ppm = want_skew;
+                }
+                // Blind adaptation samples carrier sense at wake.
+                if matches!(cfg.mode, AdaptMode::Blind(_)) {
+                    let busy = tl.air_busy(t);
+                    devs[dev].adaptive.as_mut().unwrap().observe_air_busy(busy);
+                }
+                let policy = devs[dev].policy();
+                let wants_feedback = match &cfg.mode {
+                    AdaptMode::Feedback { every, .. } => {
+                        devs[dev].msg_count.is_multiple_of((*every).max(1) as u64)
+                    }
+                    _ => false,
+                };
+                // The two-way exchange transmits a gateway reply just
+                // after the beacon; skip it if any other event lands
+                // inside that window (transmit order must stay
+                // monotone).
+                let clear_air = match queue.peek_time() {
+                    Some(next) => next >= t + TWOWAY_GUARD,
+                    None => true,
+                };
+                devs[dev].msg_count += 1;
+
+                let seq = if wants_feedback && clear_air {
+                    let (seq, got) =
+                        run_feedback_round(&mut devs[dev], &mut medium, &mut ingest, &mut tl, t);
+                    record(&mut devs, got);
+                    seq
+                } else {
+                    let d = &mut devs[dev];
+                    d.inj.sleep_until(t);
+                    let rep = d.inj.inject(&mut medium, d.radio, PAYLOAD);
+                    let seq = rep.seq;
+                    d.reports.push(rep);
+                    seq
+                };
+                devs[dev].msgs.push((seq, t));
+                for j in 1..policy.copies {
+                    queue.schedule(t + cfg.copy_spacing.mul(j as u64), Ev::Copy { dev, seq });
+                }
+                let backoff = devs[dev]
+                    .adaptive
+                    .as_ref()
+                    .map(|a| a.period_backoff())
+                    .unwrap_or(Duration::ZERO);
+                let next = devs[dev].clock.wake_after(t, cfg.period + backoff);
+                if next <= end {
+                    queue.schedule(next, Ev::Msg(dev));
+                }
+            }
+        }
+    }
+    summarize(
+        cfg,
+        latency,
+        devs,
+        ingest.gateway_mut(),
+        delivered,
+        evicted,
+        horizon,
+    )
+}
+
+/// One two-way message round: beacon with RX window, gateway polls what
+/// arrived (through the fault timeline), replies with its loss
+/// estimate, device listens and adapts. Returns the message seq and any
+/// deliveries the mid-round gateway poll produced.
+fn run_feedback_round(
+    d: &mut Dev,
+    medium: &mut Medium,
+    ingest: &mut GatewayIngest,
+    tl: &mut FaultTimeline,
+    t: Instant,
+) -> (u16, Vec<Received>) {
+    d.inj.sleep_until(t);
+    let rep = d
+        .inj
+        .inject_twoway(medium, d.radio, PAYLOAD, FEEDBACK_WINDOW);
+    let seq = rep.seq;
+    let (open, close) = FEEDBACK_WINDOW.absolute(rep.t_tx_end);
+    // Gateway side: catch up on arrivals (including this beacon, if the
+    // channel let it through) and answer inside the window.
+    let got = ingest.drain(medium, Some(tl), open);
+
+    let device_id = d.inj.identity().device_id;
+    let reply_at = open + Duration::from_us(300);
+    let loss = ingest
+        .gateway()
+        .link_health()
+        .and_then(|h| h.loss_estimate(device_id));
+    if let Some(loss) = loss {
+        if !tl.gateway_down(reply_at) {
+            medium.transmit(
+                ingest.radio(),
+                reply_at,
+                TxParams {
+                    airtime: Duration::from_us(60),
+                    power_dbm: 0.0,
+                    min_snr_db: 5.0,
+                },
+                FeedbackFrame::for_loss(device_id, loss).encode(),
+            );
+        }
+    }
+    // Device listens through its announced window.
+    if let Some(bytes) = d.inj.listen_window(medium, d.radio, open, close) {
+        if let Some(f) = FeedbackFrame::decode(&bytes) {
+            if f.device_id == device_id {
+                if let Some(a) = d.adaptive.as_mut() {
+                    a.record_feedback(f.loss());
+                }
+                d.feedback_received += 1;
+            }
+        }
+    }
+    d.reports.push(rep);
+    (seq, got)
+}

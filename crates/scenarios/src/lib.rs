@@ -18,7 +18,13 @@
 //!   payload size, init time / ASIC, clock-drift ppm);
 //! * [`campaign`] — fault-injection campaigns: a fleet run through a
 //!   scheduled disturbance timeline (burst loss, jammers, outages),
-//!   comparing adaptive repeat policies against static baselines;
+//!   comparing adaptive repeat policies against static baselines — run
+//!   on the `wile-sim` actor kernel, with the pre-refactor loop
+//!   retained as a differential oracle;
+//! * [`session`] — the §6 two-way command session ported to kernel
+//!   actors (differentially tested against the synchronous runner);
+//! * [`assoc`] — N duty-cycled WiFi clients re-associating on one
+//!   shared kernel medium, serialized by the air lease;
 //! * [`engine`] — the deterministic parallel run engine: independent
 //!   cells (campaign arms × seeds, sweep points, scenario rows) fanned
 //!   across a thread pool with index-ordered merging, byte-identical to
@@ -29,6 +35,7 @@
 #![deny(missing_docs)]
 
 pub mod ablation;
+pub mod assoc;
 pub mod ble;
 pub mod campaign;
 pub mod engine;
@@ -36,6 +43,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod report;
 pub mod scenario;
+pub mod session;
 pub mod table1;
 pub mod wifi_dc;
 pub mod wifi_ps;

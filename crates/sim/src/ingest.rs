@@ -1,0 +1,131 @@
+//! First-class gateway ingest stage.
+//!
+//! Every scenario that models channel faults does it the same way:
+//! frames are pulled raw off the medium, run through the seeded
+//! [`FaultTimeline`] keyed by their arrival instant, and only survivors
+//! reach [`Gateway::ingest`]. Before the kernel existed that pipeline
+//! was re-implemented per driver (`drain_gateway` in `campaign.rs` was
+//! the canonical copy); [`GatewayIngest`] is the one shared
+//! implementation, used by the kernel-ported campaign *and* the
+//! retained pre-refactor reference runner — so the differential tests
+//! compare orchestration, not two drain implementations.
+
+use wile::monitor::{Gateway, Received};
+use wile_radio::fault::FaultOutcome;
+use wile_radio::medium::{Medium, RadioId};
+use wile_radio::plan::FaultTimeline;
+use wile_radio::time::Instant;
+
+/// A gateway bound to its radio, draining through the fault timeline.
+#[derive(Debug)]
+pub struct GatewayIngest {
+    radio: RadioId,
+    gateway: Gateway,
+}
+
+impl GatewayIngest {
+    /// Bind `gateway` to the medium radio it listens on.
+    pub fn new(radio: RadioId, gateway: Gateway) -> Self {
+        GatewayIngest { radio, gateway }
+    }
+
+    /// The gateway's radio id.
+    pub fn radio(&self) -> RadioId {
+        self.radio
+    }
+
+    /// The wrapped gateway.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// Mutable access to the wrapped gateway (link health, stats).
+    pub fn gateway_mut(&mut self) -> &mut Gateway {
+        &mut self.gateway
+    }
+
+    /// Unwrap the gateway (post-run reporting).
+    pub fn into_gateway(self) -> Gateway {
+        self.gateway
+    }
+
+    /// Pull raw frames that arrived by `up_to` from the gateway radio,
+    /// apply the fault timeline (outage ⇒ skip, drop ⇒ skip, corruption
+    /// ⇒ pass through mutated — the gateway's FCS check is the
+    /// component under test for those), and feed survivors through the
+    /// gateway pipeline. Returns newly delivered messages.
+    pub fn drain(
+        &mut self,
+        medium: &mut Medium,
+        mut faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+    ) -> Vec<Received> {
+        let mut survivors = Vec::new();
+        for mut f in medium.take_inbox(self.radio, up_to) {
+            if let Some(tl) = faults.as_deref_mut() {
+                if tl.gateway_down(f.at) {
+                    continue;
+                }
+                if tl.apply(f.at, &mut f.bytes) == FaultOutcome::Dropped {
+                    continue;
+                }
+            }
+            survivors.push(f);
+        }
+        self.gateway.ingest(survivors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wile::inject::Injector;
+    use wile::registry::DeviceIdentity;
+    use wile_radio::medium::RadioConfig;
+    use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan};
+
+    fn world() -> (Medium, RadioId, RadioId) {
+        let mut medium = Medium::new(Default::default(), 11);
+        let gw = medium.attach(RadioConfig::default());
+        let dev = medium.attach(RadioConfig {
+            position_m: (2.0, 0.0),
+            ..Default::default()
+        });
+        (medium, gw, dev)
+    }
+
+    #[test]
+    fn faultless_drain_delivers() {
+        let (mut medium, gw, dev) = world();
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        inj.inject(&mut medium, dev, b"reading");
+        let mut ingest = GatewayIngest::new(gw, Gateway::new());
+        let got = ingest.drain(&mut medium, None, Instant::from_secs(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].device_id, 5);
+    }
+
+    #[test]
+    fn outage_swallows_frames() {
+        let (mut medium, gw, dev) = world();
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        inj.inject(&mut medium, dev, b"reading");
+        // The beacon lands ~480 ms in; a 0–10 s outage covers it.
+        let plan = FaultPlan::new(
+            vec![FaultPhase::new(
+                Instant::ZERO,
+                Instant::from_secs(10),
+                Disturbance::GatewayOutage,
+                "reboot",
+            )],
+            3,
+        );
+        let mut tl = FaultTimeline::new(plan);
+        let mut ingest = GatewayIngest::new(gw, Gateway::new());
+        let got = ingest.drain(&mut medium, Some(&mut tl), Instant::from_secs(2));
+        assert!(got.is_empty());
+        // Frames consumed during the outage are gone, not deferred.
+        let later = ingest.drain(&mut medium, Some(&mut tl), Instant::from_secs(20));
+        assert!(later.is_empty());
+    }
+}

@@ -1,0 +1,513 @@
+//! The discrete-event actor kernel.
+//!
+//! A [`Kernel`] owns the four pieces of shared simulation state every
+//! scenario driver in this workspace used to plumb by hand — the
+//! [`Medium`], one [`EventQueue`], an optional seeded [`FaultTimeline`],
+//! and a [`RunLog`] — and dispatches typed events to registered
+//! [`Actor`]s in strict `(time, schedule-order)` order. Time is sparse:
+//! the kernel jumps from wake event to wake event, so a device that
+//! deep-sleeps for an hour costs exactly one queue pop, and 10k-device
+//! fleets stay tractable.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed medium seed, fault plan, and actor/event setup order,
+//! a kernel run is byte-identical across processes and worker counts:
+//!
+//! * events pop in `(time, schedule ordinal)` order — ties resolve
+//!   FIFO, so "send to myself now" sequences execute in the order they
+//!   were issued, with nothing else interleaving at the same instant;
+//! * the queue runs in monotonic mode ([`EventQueue::assert_monotonic`])
+//!   — scheduling into the past is a bug and fails loudly in debug
+//!   builds rather than silently reordering history;
+//! * all randomness lives in the seeded medium/fault state; actors get
+//!   no entropy source;
+//! * the medium runs bounded ([`Medium::retire_consumed`]) by default,
+//!   and retirement is proven not to change delivery (PR 2), so memory
+//!   behaviour cannot alter results.
+
+use crate::log::{RunLog, RunLogEntry};
+use std::any::Any;
+use wile_radio::channel::ChannelModel;
+use wile_radio::medium::Medium;
+use wile_radio::plan::FaultTimeline;
+use wile_radio::time::{Duration, Instant};
+use wile_radio::EventQueue;
+
+/// Handle to an actor registered with a [`Kernel`]; stable for the
+/// kernel's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActorId(pub(crate) usize);
+
+impl ActorId {
+    /// The actor's slot index (assigned in registration order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A simulated role driven by events: a device lifecycle, a gateway, a
+/// fault process. Actors never see each other directly — they interact
+/// through scheduled events and the shared [`Medium`] exposed on
+/// [`Ctx`].
+pub trait Actor<E>: 'static {
+    /// Handle one event addressed to this actor at simulated time
+    /// `now`. Use `ctx` to transmit, schedule follow-ups, consult the
+    /// fault timeline, and log.
+    fn on_event(&mut self, now: Instant, ev: E, ctx: &mut Ctx<'_, E>);
+}
+
+/// Object-safe shim over [`Actor`] that adds `Any` access without
+/// relying on `dyn` trait upcasting (stabilized after our MSRV).
+trait ActorObj<E>: 'static {
+    fn obj_on_event(&mut self, now: Instant, ev: E, ctx: &mut Ctx<'_, E>);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<E: 'static, A: Actor<E>> ActorObj<E> for A {
+    fn obj_on_event(&mut self, now: Instant, ev: E, ctx: &mut Ctx<'_, E>) {
+        self.on_event(now, ev, ctx);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// An event addressed to one actor.
+struct Envelope<E> {
+    dst: ActorId,
+    ev: E,
+}
+
+/// What an actor can reach while handling an event: the shared medium,
+/// the fault timeline, scheduling, the air lease, and the run log.
+pub struct Ctx<'a, E> {
+    now: Instant,
+    self_id: ActorId,
+    /// The shared radio medium — transmit, drain inboxes, release
+    /// consumed history.
+    pub medium: &'a mut Medium,
+    /// The kernel's seeded fault timeline, if one was installed. A
+    /// public field (not an accessor) so it can be borrowed alongside
+    /// [`Ctx::medium`] in one expression.
+    pub faults: Option<&'a mut FaultTimeline>,
+    queue: &'a mut EventQueue<Envelope<E>>,
+    log: &'a mut RunLog,
+    air_lease: &'a mut Instant,
+}
+
+impl<E> Ctx<'_, E> {
+    /// Simulated time of the event being handled.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The handling actor's own id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Schedule `ev` for `dst` at absolute time `at` (≥ now).
+    pub fn schedule(&mut self, at: Instant, dst: ActorId, ev: E) {
+        self.queue.schedule(at, Envelope { dst, ev });
+    }
+
+    /// Schedule `ev` for `dst` `delay` from now; returns the fire time.
+    pub fn schedule_in(&mut self, delay: Duration, dst: ActorId, ev: E) -> Instant {
+        self.queue
+            .schedule_after(self.now, delay, Envelope { dst, ev })
+    }
+
+    /// Send `ev` to `dst` at the current instant. FIFO tie-breaking
+    /// guarantees it is handled immediately after the current event
+    /// (and any same-instant events sent before it), with nothing later
+    /// interleaving — the kernel's "continue synchronously in another
+    /// actor" primitive.
+    pub fn send(&mut self, dst: ActorId, ev: E) {
+        self.schedule(self.now, dst, ev);
+    }
+
+    /// Fire time of the next pending event, if any. Drivers use this as
+    /// a clear-air guard: only start a multi-transmission exchange when
+    /// nothing else is scheduled inside its window.
+    pub fn next_event_time(&self) -> Option<Instant> {
+        self.queue.peek_time()
+    }
+
+    /// Record a structured [`RunLogEntry`] attributed to this actor.
+    pub fn emit(&mut self, event: &'static str, value: u64) {
+        self.log.push(RunLogEntry {
+            at: self.now,
+            actor: self.self_id,
+            event,
+            value,
+        });
+    }
+
+    /// Claim the air until `until`: actors that run synchronous
+    /// multi-transmission exchanges (e.g. a full WiFi association)
+    /// publish their occupancy so peers defer past it instead of
+    /// violating the medium's time-ordered transmit contract. The lease
+    /// only ever extends.
+    pub fn reserve_air(&mut self, until: Instant) {
+        if until > *self.air_lease {
+            *self.air_lease = until;
+        }
+    }
+
+    /// Until when the air is currently leased ([`Instant::ZERO`] when
+    /// it never was).
+    pub fn air_reserved_until(&self) -> Instant {
+        *self.air_lease
+    }
+}
+
+/// A deterministic discrete-event simulation: shared state plus a set
+/// of actors, run to event-queue exhaustion (or a deadline).
+pub struct Kernel<E> {
+    medium: Medium,
+    queue: EventQueue<Envelope<E>>,
+    faults: Option<FaultTimeline>,
+    log: RunLog,
+    actors: Vec<Option<Box<dyn ActorObj<E>>>>,
+    air_lease: Instant,
+}
+
+impl<E: 'static> Kernel<E> {
+    /// A kernel over a fresh [`Medium`] with the given propagation
+    /// model and loss seed.
+    ///
+    /// The medium starts in bounded mode (`retire_consumed(true)`): a
+    /// long fleet run holds O(in-flight) transmissions, not the full
+    /// history. Scenarios that replay the transmission log afterwards
+    /// (pcap export, waveform reconstruction) opt out with
+    /// [`Kernel::retain_history`].
+    pub fn new(model: ChannelModel, seed: u64) -> Self {
+        let mut medium = Medium::new(model, seed);
+        medium.retire_consumed(true);
+        let mut queue = EventQueue::new();
+        queue.assert_monotonic(true);
+        Kernel {
+            medium,
+            queue,
+            faults: None,
+            log: RunLog::new(),
+            actors: Vec::new(),
+            air_lease: Instant::ZERO,
+        }
+    }
+
+    /// Opt out of the bounded-medium default and retain the full
+    /// transmission history for post-run inspection.
+    pub fn retain_history(&mut self) {
+        self.medium.retire_consumed(false);
+    }
+
+    /// The shared medium (attach radios here during setup).
+    pub fn medium(&self) -> &Medium {
+        &self.medium
+    }
+
+    /// Mutable access to the shared medium.
+    pub fn medium_mut(&mut self) -> &mut Medium {
+        &mut self.medium
+    }
+
+    /// Install the seeded fault timeline actors see via
+    /// [`Ctx::faults`].
+    pub fn set_faults(&mut self, faults: FaultTimeline) {
+        self.faults = Some(faults);
+    }
+
+    /// The installed fault timeline, if any.
+    pub fn faults(&self) -> Option<&FaultTimeline> {
+        self.faults.as_ref()
+    }
+
+    /// The structured run log.
+    pub fn log(&self) -> &RunLog {
+        &self.log
+    }
+
+    /// Mutable access to the run log (e.g. to disable recording for a
+    /// massive fleet before the run).
+    pub fn log_mut(&mut self) -> &mut RunLog {
+        &mut self.log
+    }
+
+    /// Register an actor; its [`ActorId`] is its registration ordinal.
+    pub fn add_actor<A: Actor<E>>(&mut self, actor: A) -> ActorId {
+        self.actors.push(Some(Box::new(actor)));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Borrow a registered actor by its concrete type.
+    ///
+    /// Panics if `id` names a removed actor or a different type.
+    pub fn actor<A: Actor<E>>(&self, id: ActorId) -> &A {
+        self.actors[id.0]
+            .as_ref()
+            .expect("actor was removed (or is mid-dispatch)")
+            .as_any()
+            .downcast_ref()
+            .expect("actor type mismatch")
+    }
+
+    /// Mutably borrow a registered actor by its concrete type.
+    ///
+    /// Panics if `id` names a removed actor or a different type.
+    pub fn actor_mut<A: Actor<E>>(&mut self, id: ActorId) -> &mut A {
+        self.actors[id.0]
+            .as_mut()
+            .expect("actor was removed (or is mid-dispatch)")
+            .as_any_mut()
+            .downcast_mut()
+            .expect("actor type mismatch")
+    }
+
+    /// Take an actor out of the kernel (typically after the run, to
+    /// fold its accumulated state into a report). Events still
+    /// addressed to it are dropped silently.
+    ///
+    /// Panics if `id` names a removed actor or a different type.
+    pub fn remove_actor<A: Actor<E>>(&mut self, id: ActorId) -> A {
+        *self.actors[id.0]
+            .take()
+            .expect("actor was removed (or is mid-dispatch)")
+            .into_any()
+            .downcast()
+            .expect("actor type mismatch")
+    }
+
+    /// Schedule `ev` for `dst` at `at` (setup-time scheduling; actors
+    /// use [`Ctx::schedule`]).
+    pub fn schedule(&mut self, at: Instant, dst: ActorId, ev: E) {
+        self.queue.schedule(at, Envelope { dst, ev });
+    }
+
+    /// Simulated time of the last dispatched event.
+    pub fn now(&self) -> Instant {
+        self.queue.now()
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch the next event; false when the queue is empty. Events
+    /// addressed to removed actors are dropped (the pop still counts).
+    pub fn step(&mut self) -> bool {
+        let Some((at, env)) = self.queue.pop() else {
+            return false;
+        };
+        let Some(mut actor) = self.actors[env.dst.0].take() else {
+            return true;
+        };
+        let mut ctx = Ctx {
+            now: at,
+            self_id: env.dst,
+            medium: &mut self.medium,
+            faults: self.faults.as_mut(),
+            queue: &mut self.queue,
+            log: &mut self.log,
+            air_lease: &mut self.air_lease,
+        };
+        actor.obj_on_event(at, env.ev, &mut ctx);
+        self.actors[env.dst.0] = Some(actor);
+        true
+    }
+
+    /// Run until the event queue is empty; returns events dispatched.
+    pub fn run(&mut self) -> u64 {
+        let mut n = 0;
+        while self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Run while pending events fire at or before `deadline`; returns
+    /// events dispatched. Later events stay queued.
+    pub fn run_until(&mut self, deadline: Instant) -> u64 {
+        let mut n = 0;
+        while matches!(self.queue.peek_time(), Some(t) if t <= deadline) {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replies to every `n` with `n - 1` until zero, recording each.
+    struct Counter {
+        peer: Option<ActorId>,
+        seen: Vec<(Instant, u32)>,
+    }
+
+    impl Actor<u32> for Counter {
+        fn on_event(&mut self, now: Instant, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            self.seen.push((now, ev));
+            ctx.emit("tick", ev as u64);
+            if ev > 0 {
+                if let Some(peer) = self.peer {
+                    ctx.schedule_in(Duration::from_secs(3600), peer, ev - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_jumps_sparse_time() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let a = k.add_actor(Counter {
+            peer: None,
+            seen: Vec::new(),
+        });
+        let b = k.add_actor(Counter {
+            peer: Some(a),
+            seen: Vec::new(),
+        });
+        k.actor_mut::<Counter>(a).peer = Some(b);
+        k.schedule(Instant::from_secs(1), a, 4);
+        // 5 events total even though they span 4+ simulated hours:
+        // sparse advancement costs one pop per wake.
+        assert_eq!(k.run(), 5);
+        assert_eq!(k.now(), Instant::from_secs(1 + 4 * 3600));
+        let a = k.remove_actor::<Counter>(a);
+        let b = k.remove_actor::<Counter>(b);
+        assert_eq!(
+            a.seen.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+            [4, 2, 0]
+        );
+        assert_eq!(b.seen.iter().map(|&(_, v)| v).collect::<Vec<_>>(), [3, 1]);
+    }
+
+    /// Echoes each event to a collector at the same instant.
+    struct Forwarder {
+        to: ActorId,
+    }
+    impl Actor<u32> for Forwarder {
+        fn on_event(&mut self, _now: Instant, ev: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.send(self.to, ev);
+        }
+    }
+    #[derive(Default)]
+    struct Collector {
+        got: Vec<u32>,
+    }
+    impl Actor<u32> for Collector {
+        fn on_event(&mut self, _now: Instant, ev: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.got.push(ev);
+        }
+    }
+
+    #[test]
+    fn same_instant_sends_stay_fifo() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let sink = k.add_actor(Collector::default());
+        let fwd = k.add_actor(Forwarder { to: sink });
+        let t = Instant::from_ms(5);
+        for v in 0..50 {
+            k.schedule(t, fwd, v);
+        }
+        k.run();
+        let sink = k.remove_actor::<Collector>(sink);
+        assert_eq!(sink.got, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_to_removed_actors_are_dropped() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let sink = k.add_actor(Collector::default());
+        k.schedule(Instant::from_ms(1), sink, 7);
+        k.schedule(Instant::from_ms(2), sink, 8);
+        k.run_until(Instant::from_ms(1));
+        let sink_state = k.remove_actor::<Collector>(sink);
+        assert_eq!(sink_state.got, [7]);
+        // The ms-2 event now addresses a hole; the run drains it.
+        assert_eq!(k.run(), 1);
+    }
+
+    #[test]
+    fn bounded_medium_is_the_default_with_opt_out() {
+        use wile_radio::medium::{RadioConfig, TxParams};
+        let drive = |retain: bool| {
+            let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+            if retain {
+                k.retain_history();
+            }
+            let a = k.medium_mut().attach(RadioConfig::default());
+            let _b = k.medium_mut().attach(RadioConfig {
+                position_m: (1.0, 0.0),
+                ..Default::default()
+            });
+            for i in 0..200u64 {
+                k.medium_mut().transmit(
+                    a,
+                    Instant::from_ms(i),
+                    TxParams {
+                        airtime: Duration::from_us(50),
+                        power_dbm: 0.0,
+                        min_snr_db: 10.0,
+                    },
+                    vec![i as u8],
+                );
+            }
+            k.medium_mut().release_all(Instant::from_secs(1));
+            k.medium().retired_tx_count()
+        };
+        assert!(drive(false) > 0, "bounded by default: history retires");
+        assert_eq!(drive(true), 0, "retain_history keeps everything");
+    }
+
+    #[test]
+    fn air_lease_extends_monotonically() {
+        struct Leaser {
+            saw: Vec<Instant>,
+        }
+        impl Actor<u32> for Leaser {
+            fn on_event(&mut self, now: Instant, ev: u32, ctx: &mut Ctx<'_, u32>) {
+                self.saw.push(ctx.air_reserved_until());
+                ctx.reserve_air(now + Duration::from_ms(ev as u64));
+            }
+        }
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let a = k.add_actor(Leaser { saw: Vec::new() });
+        k.schedule(Instant::from_ms(0), a, 100);
+        k.schedule(Instant::from_ms(10), a, 5); // shorter: lease must not shrink
+        k.schedule(Instant::from_ms(20), a, 0);
+        k.run();
+        let a = k.remove_actor::<Leaser>(a);
+        assert_eq!(
+            a.saw,
+            [Instant::ZERO, Instant::from_ms(100), Instant::from_ms(100)]
+        );
+    }
+
+    #[test]
+    fn log_attributes_entries_to_actors() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let a = k.add_actor(Counter {
+            peer: None,
+            seen: Vec::new(),
+        });
+        k.schedule(Instant::from_ms(1), a, 9);
+        k.run();
+        assert_eq!(k.log().len(), 1);
+        assert_eq!(k.log().entries()[0].actor, a);
+        assert_eq!(k.log().entries()[0].value, 9);
+    }
+}

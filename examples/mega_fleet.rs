@@ -1,0 +1,60 @@
+//! E10: the 10,000-device, one-simulated-hour fleet on the `wile-sim`
+//! kernel — the scalability witness for the bounded medium + sparse
+//! time advancement combination.
+//!
+//! Prints delivery statistics, wall-clock time, and peak RSS (VmHWM
+//! from /proc/self/status where available). Numbers are recorded in
+//! EXPERIMENTS.md E10.
+//!
+//! ```sh
+//! cargo run --release --example mega_fleet
+//! ```
+
+use std::time::Instant as WallInstant;
+use wile_sim::{run_fleet, FleetConfig};
+
+/// Peak resident set size in MiB, if the platform exposes it.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn main() {
+    let cfg = FleetConfig::mega(42);
+    println!(
+        "mega fleet: {} devices, {} s simulated, beacon every {} s, poll every {} s",
+        cfg.devices,
+        cfg.duration.as_secs_f64(),
+        cfg.period.as_secs_f64(),
+        cfg.poll_every.as_secs_f64(),
+    );
+
+    let t0 = WallInstant::now();
+    let report = run_fleet(&cfg);
+    let wall = t0.elapsed();
+
+    println!(
+        "beacons sent        {:>12}\n\
+         delivered           {:>12}  ({:.2}%)\n\
+         bad FCS             {:>12}\n\
+         peak live tx        {:>12}  (bounded-medium witness)\n\
+         retired tx          {:>12}\n\
+         tx energy           {:>12.1} mJ\n\
+         simulated end       {:>12}",
+        report.beacons_sent,
+        report.messages_delivered,
+        report.delivery_ratio() * 100.0,
+        report.bad_fcs,
+        report.peak_live_tx,
+        report.retired_tx,
+        report.tx_energy_mj,
+        report.sim_end,
+    );
+    println!("wall clock          {:>12.2} s", wall.as_secs_f64());
+    match peak_rss_mib() {
+        Some(mib) => println!("peak RSS            {:>12.1} MiB", mib),
+        None => println!("peak RSS            {:>12}", "(unavailable)"),
+    }
+}
