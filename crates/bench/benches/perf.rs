@@ -12,6 +12,10 @@
 //! * `waveform` — memory of the Figure-3a piecewise-constant waveform
 //!   vs the dense 50 kS/s vector it replaced.
 //!
+//! The PR-4 `cluster` section measures multi-gateway cluster-ingest
+//! throughput (the `wile-cluster` pipeline under the metro scenario)
+//! over a gateways × devices grid and writes `BENCH_4.json` alongside.
+//!
 //! `WILE_BENCH_FAST=1` shrinks the workloads for CI smoke runs; the
 //! JSON notes which mode produced it.
 
@@ -23,6 +27,7 @@ use wile_radio::naive::NaiveMedium;
 use wile_radio::time::{Duration, Instant};
 use wile_scenarios::campaign::{run_campaigns, AdaptMode, CampaignConfig};
 use wile_scenarios::fig3;
+use wile_scenarios::metro::{run_metro, MetroConfig};
 
 fn fast() -> bool {
     std::env::var("WILE_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -224,5 +229,72 @@ fn bench_perf(c: &mut Criterion) {
     println!("\nwrote {path}");
 }
 
-criterion_group!(benches, bench_perf);
+/// One metro cell for the cluster-ingest grid: `gateways` on a row-
+/// capped grid, `devices` beaconing every 10 s for a simulated minute.
+fn cluster_cell(gateways: usize, devices: usize) -> MetroConfig {
+    MetroConfig {
+        gateways,
+        gw_cols: gateways.min(4),
+        devices,
+        period: Duration::from_secs(10),
+        duration: Duration::from_secs(60),
+        poll_every: Duration::from_secs(5),
+        keep_deliveries: false,
+        ..MetroConfig::metro(42)
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 3 };
+    let grid: Vec<(usize, usize)> = if fast {
+        vec![(2, 200), (4, 200)]
+    } else {
+        vec![(2, 500), (4, 500), (8, 500), (4, 2_000), (8, 2_000)]
+    };
+    let workers = wile_scenarios::engine::available_workers();
+
+    wile_bench::banner("cluster ingest (gateways × devices grid)");
+    let mut rows = Vec::new();
+    for &(gateways, devices) in &grid {
+        let cfg = cluster_cell(gateways, devices);
+        let probe = run_metro(&cfg, workers);
+        assert!(probe.stats.conserves_offered_load());
+        let hears = probe.stats.total_hears();
+        let delivered = probe.stats.delivered;
+        let cell_s = median_s(reps, || run_metro(&cfg, workers).delivery_digest);
+        let frames_per_s = hears as f64 / cell_s;
+        println!(
+            "{gateways} gw × {devices:>5} dev: {hears:>8} hears, {delivered:>7} delivered, \
+             {cell_s:.3} s ({frames_per_s:.0} frames/s)"
+        );
+        rows.push(format!(
+            "    {{ \"gateways\": {gateways}, \"devices\": {devices}, \"hears\": {hears}, \
+             \"delivered\": {delivered}, \"wall_s\": {cell_s:.4}, \
+             \"frames_per_s\": {frames_per_s:.0} }}"
+        ));
+    }
+
+    // Criterion-visible timing for the smallest cell.
+    let small = cluster_cell(2, if fast { 100 } else { 200 });
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(10);
+    g.bench_function("metro_ingest_2gw", |b| {
+        b.iter(|| black_box(run_metro(&small, workers).delivery_digest))
+    });
+    g.finish();
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"fast_mode\": {fast},\n  \"workers\": {workers},\n  \
+         \"note\": \"cluster-ingest throughput over a gateways x devices grid; frames/s counts \
+         gateway hears (post per-gateway dedup) pushed through queues, election and roaming; \
+         results are byte-identical at any worker count\",\n  \"grid\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    std::fs::write(path, &json).expect("write BENCH_4.json");
+    println!("\nwrote {path}");
+}
+
+criterion_group!(benches, bench_perf, bench_cluster);
 criterion_main!(benches);

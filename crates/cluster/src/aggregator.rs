@@ -1,0 +1,641 @@
+//! Cross-gateway aggregation: sharded dedup, best-RSSI election, and
+//! roaming with hysteresis.
+//!
+//! N gateways with overlapping coverage all hear the same beacon; the
+//! aggregator is the stage that turns those N observations into exactly
+//! one cluster-wide delivery. It works in **rounds**: each round takes
+//! the batch of [`GatewayReport`]s drained from every lane queue,
+//! shards it by device across the deterministic parallel engine
+//! ([`wile_sim::engine::run_cells`]), elects a winner per message, and
+//! folds per-shard outcomes back in shard order — so the result is
+//! byte-identical at any worker count.
+//!
+//! ## Election
+//!
+//! Reports for one device are processed in `(arrival, ordinal)` order.
+//! Copies of the *same transmission* share an arrival instant (the
+//! medium stamps every receiver with the end-of-PPDU time), so they
+//! form one election group: the strongest RSSI wins (ties: lowest lane,
+//! then lowest enqueue ordinal), the rest are dedup suppressions
+//! charged to their own lanes. A later group with an already-seen
+//! sequence number — an application-level repeat copy, or a straggler
+//! arriving a round late — is suppressed outright, which is exactly the
+//! single-gateway `Gateway` dedup semantic lifted cluster-wide.
+//!
+//! ## Roaming
+//!
+//! Each device has an owning gateway (the lane expected to serve its
+//! downlink). Ownership follows delivery elections but with
+//! **hysteresis**: a challenger must beat the incumbent's RSSI for the
+//! same message by [`RoamingConfig::hysteresis_db`] *and* the incumbent
+//! must have held the device for [`RoamingConfig::min_dwell`] — unless
+//! the incumbent did not hear the message at all, in which case the
+//! handoff is immediate. Flapping RSSI near the cell boundary therefore
+//! cannot thrash ownership, but a device walking out of a dead
+//! gateway's cell is re-homed on the next delivery.
+//!
+//! ## Sharding invariant
+//!
+//! All aggregation state is keyed by device, and a device maps to
+//! exactly one shard (a pure hash of its id — **not** of the worker
+//! count), so shards never share mutable state. Workers only decide
+//! which thread executes which shard; the merge is index-ordered and
+//! the deliveries are sorted by `(arrival, device, seq)`, so
+//! `WILE_WORKERS=1/2/8` produce byte-identical results
+//! (`tests/cluster_diff.rs` asserts it end to end).
+
+use crate::report::{ClusterDelivery, GatewayReport};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use wile_radio::time::{Duration, Instant};
+use wile_sim::engine::run_cells;
+
+/// Roaming/handoff tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct RoamingConfig {
+    /// How many dB stronger a challenger must hear a message than the
+    /// incumbent owner before ownership moves (when both heard it).
+    pub hysteresis_db: f64,
+    /// Minimum time a gateway holds a device before a
+    /// stronger-challenger handoff may occur (waived when the incumbent
+    /// goes deaf to the device).
+    pub min_dwell: Duration,
+}
+
+impl Default for RoamingConfig {
+    fn default() -> Self {
+        RoamingConfig {
+            hysteresis_db: 6.0,
+            min_dwell: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Per-lane (per-gateway) counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Reports the gateway pipeline offered to the cluster (post
+    /// per-gateway dedup, pre queue).
+    pub hears: u64,
+    /// Reports dropped at this lane's bounded queue (backpressure).
+    pub queue_drops: u64,
+    /// Deepest this lane's queue has ever been.
+    pub queue_high_water: usize,
+    /// Deliveries this lane's report won.
+    pub wins: u64,
+    /// Reports dequeued but suppressed as cross-gateway duplicates.
+    pub suppressions: u64,
+}
+
+/// A structured snapshot of everything the cluster counted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Per-gateway counters, by lane index.
+    pub lanes: Vec<LaneStats>,
+    /// Messages delivered cluster-wide (exactly once each).
+    pub delivered: u64,
+    /// Ownership handoffs between gateways.
+    pub handoffs: u64,
+    /// Devices evicted as stale.
+    pub evicted: u64,
+    /// Devices currently tracked (heard at least once, not evicted).
+    pub devices_tracked: usize,
+}
+
+impl ClusterStats {
+    /// Total reports offered by all gateway pipelines.
+    pub fn total_hears(&self) -> u64 {
+        self.lanes.iter().map(|l| l.hears).sum()
+    }
+
+    /// Total reports dropped by lane queues.
+    pub fn total_drops(&self) -> u64 {
+        self.lanes.iter().map(|l| l.queue_drops).sum()
+    }
+
+    /// Total cross-gateway dedup suppressions.
+    pub fn total_suppressions(&self) -> u64 {
+        self.lanes.iter().map(|l| l.suppressions).sum()
+    }
+
+    /// Deepest any lane queue has ever been.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.queue_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The conservation law the whole subsystem is audited against:
+    /// every offered report is delivered, suppressed, or dropped —
+    /// nothing vanishes, nothing is double-counted.
+    pub fn conserves_offered_load(&self) -> bool {
+        self.delivered + self.total_suppressions() + self.total_drops() == self.total_hears()
+    }
+}
+
+/// Everything the aggregator remembers about one device.
+#[derive(Debug, Clone)]
+struct DeviceState {
+    /// Sequence numbers delivered cluster-wide (cleared per epoch via
+    /// [`ClusterAggregator::clear_dedup`]; seqs wrap at 65536).
+    seen: HashSet<u16>,
+    /// Owning lane.
+    owner: usize,
+    /// When the current owner acquired the device.
+    owner_since: Instant,
+    /// Last time any gateway heard the device (delivered or not).
+    last_heard: Instant,
+}
+
+/// What one shard computed from its slice of a round, merged back in
+/// shard order.
+struct ShardOutcome {
+    deliveries: Vec<ClusterDelivery>,
+    updates: Vec<(u32, DeviceState)>,
+    wins: Vec<u64>,
+    suppressions: Vec<u64>,
+    handoffs: u64,
+}
+
+/// A device's shard: a fixed multiplicative hash of its id. Depends on
+/// the shard count only — never on workers — so the partition (and
+/// therefore every result) is stable across worker settings.
+fn shard_of(device_id: u32, shards: usize) -> usize {
+    (device_id.wrapping_mul(0x9E37_79B1) >> 16) as usize % shards
+}
+
+/// The cross-gateway aggregation stage. See the module docs for the
+/// election, roaming, and sharding semantics.
+#[derive(Debug)]
+pub struct ClusterAggregator {
+    roaming: RoamingConfig,
+    shards: usize,
+    devices: HashMap<u32, DeviceState>,
+    wins: Vec<u64>,
+    suppressions: Vec<u64>,
+    delivered: u64,
+    handoffs: u64,
+    evicted: u64,
+}
+
+impl ClusterAggregator {
+    /// An aggregator for `lanes` gateways, sharding rounds `shards`
+    /// ways (≥ 1).
+    pub fn new(lanes: usize, shards: usize, roaming: RoamingConfig) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        ClusterAggregator {
+            roaming,
+            shards,
+            devices: HashMap::new(),
+            wins: vec![0; lanes],
+            suppressions: vec![0; lanes],
+            delivered: 0,
+            handoffs: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Grow the lane count by one (gateway registration order).
+    pub fn add_lane(&mut self) -> usize {
+        self.wins.push(0);
+        self.suppressions.push(0);
+        self.wins.len() - 1
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.wins.len()
+    }
+
+    /// The lane currently owning `device_id`, if it is tracked.
+    pub fn owner_of(&self, device_id: u32) -> Option<usize> {
+        self.devices.get(&device_id).map(|d| d.owner)
+    }
+
+    /// Messages delivered cluster-wide so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Ownership handoffs so far.
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Devices evicted as stale so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Devices currently tracked.
+    pub fn devices_tracked(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Per-lane election wins.
+    pub fn lane_wins(&self) -> &[u64] {
+        &self.wins
+    }
+
+    /// Per-lane dedup suppressions.
+    pub fn lane_suppressions(&self) -> &[u64] {
+        &self.suppressions
+    }
+
+    /// Run one aggregation round over `batch` with up to `workers`
+    /// threads. Returns the elected deliveries sorted by
+    /// `(arrival, device, seq)` — byte-identical for any `workers`.
+    pub fn round(&mut self, batch: Vec<GatewayReport>, workers: usize) -> Vec<ClusterDelivery> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let lanes = self.lanes();
+        let mut groups: Vec<Vec<GatewayReport>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for r in batch {
+            groups[shard_of(r.device_id, self.shards)].push(r);
+        }
+        let devices = &self.devices;
+        let roaming = &self.roaming;
+        let outcomes = run_cells(self.shards, workers.max(1), |s| {
+            process_shard(&groups[s], devices, roaming, lanes)
+        });
+
+        let mut deliveries = Vec::new();
+        for out in outcomes {
+            for (id, state) in out.updates {
+                self.devices.insert(id, state);
+            }
+            for lane in 0..lanes {
+                self.wins[lane] += out.wins[lane];
+                self.suppressions[lane] += out.suppressions[lane];
+            }
+            self.handoffs += out.handoffs;
+            self.delivered += out.deliveries.len() as u64;
+            deliveries.extend(out.deliveries);
+        }
+        deliveries.sort_by_key(|d| (d.at, d.device_id, d.seq));
+        deliveries
+    }
+
+    /// Evict every device no gateway has heard for `idle`; returns the
+    /// evicted ids, sorted. Ownership and dedup state are forgotten —
+    /// a device that comes back is re-adopted from scratch (sequence
+    /// numbers will have moved on by then; mid-epoch returns that reuse
+    /// a seq are indistinguishable from replays and stay suppressed at
+    /// the per-gateway layer anyway).
+    pub fn evict_stale(&mut self, now: Instant, idle: Duration) -> Vec<u32> {
+        let mut gone: Vec<u32> = self
+            .devices
+            .iter()
+            .filter(|(_, d)| now.since(d.last_heard) >= idle)
+            .map(|(&id, _)| id)
+            .collect();
+        gone.sort_unstable();
+        for id in &gone {
+            self.devices.remove(id);
+        }
+        self.evicted += gone.len() as u64;
+        gone
+    }
+
+    /// Forget cluster-wide dedup state (call per sequence epoch, like
+    /// [`wile::monitor::Gateway::clear_dedup`]); ownership and
+    /// last-heard clocks survive.
+    pub fn clear_dedup(&mut self) {
+        for d in self.devices.values_mut() {
+            d.seen.clear();
+        }
+    }
+
+    /// Snapshot the aggregator-side counters into a [`ClusterStats`]
+    /// (queue fields are zero here; [`crate::GatewayCluster::stats`]
+    /// overlays them from the lane queues).
+    pub fn stats_snapshot(&self) -> ClusterStats {
+        ClusterStats {
+            lanes: (0..self.lanes())
+                .map(|i| LaneStats {
+                    hears: 0,
+                    queue_drops: 0,
+                    queue_high_water: 0,
+                    wins: self.wins[i],
+                    suppressions: self.suppressions[i],
+                })
+                .collect(),
+            delivered: self.delivered,
+            handoffs: self.handoffs,
+            evicted: self.evicted,
+            devices_tracked: self.devices.len(),
+        }
+    }
+}
+
+/// Sequentially fold one shard's reports. Reads the pre-round device
+/// table; returns the new state of every touched device.
+fn process_shard(
+    reports: &[GatewayReport],
+    devices: &HashMap<u32, DeviceState>,
+    roaming: &RoamingConfig,
+    lanes: usize,
+) -> ShardOutcome {
+    let mut out = ShardOutcome {
+        deliveries: Vec::new(),
+        updates: Vec::new(),
+        wins: vec![0; lanes],
+        suppressions: vec![0; lanes],
+        handoffs: 0,
+    };
+    // BTreeMap: devices fold in id order, so `updates` is deterministic.
+    let mut by_dev: BTreeMap<u32, Vec<&GatewayReport>> = BTreeMap::new();
+    for r in reports {
+        by_dev.entry(r.device_id).or_default().push(r);
+    }
+    for (id, mut reps) in by_dev {
+        reps.sort_by_key(|r| (r.at, r.ordinal));
+        let mut state = devices.get(&id).cloned();
+        let mut i = 0;
+        while i < reps.len() {
+            // One election group: same transmission ⇒ same (seq, at).
+            let (seq, at) = (reps[i].seq, reps[i].at);
+            let mut j = i + 1;
+            while j < reps.len() && reps[j].seq == seq && reps[j].at == at {
+                j += 1;
+            }
+            let group = &reps[i..j];
+            i = j;
+
+            if let Some(s) = state.as_mut() {
+                if at > s.last_heard {
+                    s.last_heard = at;
+                }
+                if s.seen.contains(&seq) {
+                    for r in group {
+                        out.suppressions[r.gateway] += 1;
+                    }
+                    continue;
+                }
+            }
+
+            // Elect: max RSSI, ties to the lowest lane then ordinal.
+            let mut win = group[0];
+            for r in &group[1..] {
+                if r.rssi_dbm > win.rssi_dbm
+                    || (r.rssi_dbm == win.rssi_dbm
+                        && (r.gateway, r.ordinal) < (win.gateway, win.ordinal))
+                {
+                    win = r;
+                }
+            }
+            for r in group {
+                if !std::ptr::eq(*r, win) {
+                    out.suppressions[r.gateway] += 1;
+                }
+            }
+            out.wins[win.gateway] += 1;
+
+            let handoff = match state.as_mut() {
+                None => {
+                    state = Some(DeviceState {
+                        seen: HashSet::from([seq]),
+                        owner: win.gateway,
+                        owner_since: at,
+                        last_heard: at,
+                    });
+                    false
+                }
+                Some(s) => {
+                    s.seen.insert(seq);
+                    if win.gateway == s.owner {
+                        false
+                    } else {
+                        let incumbent_rssi = group
+                            .iter()
+                            .filter(|r| r.gateway == s.owner)
+                            .map(|r| r.rssi_dbm)
+                            .fold(None, |best: Option<f64>, r| {
+                                Some(best.map_or(r, |b| if r > b { r } else { b }))
+                            });
+                        let moves = match incumbent_rssi {
+                            // Incumbent deaf to this message: re-home now.
+                            None => true,
+                            Some(inc) => {
+                                win.rssi_dbm > inc + roaming.hysteresis_db
+                                    && at.since(s.owner_since) >= roaming.min_dwell
+                            }
+                        };
+                        if moves {
+                            s.owner = win.gateway;
+                            s.owner_since = at;
+                            out.handoffs += 1;
+                        }
+                        moves
+                    }
+                }
+            };
+
+            out.deliveries.push(ClusterDelivery {
+                device_id: id,
+                seq,
+                at,
+                rssi_dbm: win.rssi_dbm,
+                gateway: win.gateway,
+                payload: win.payload.clone(),
+                encrypted: win.encrypted,
+                handoff,
+            });
+        }
+        if let Some(s) = state {
+            out.updates.push((id, s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(
+        gateway: usize,
+        device: u32,
+        seq: u16,
+        at_ms: u64,
+        rssi: f64,
+        ord: u64,
+    ) -> GatewayReport {
+        GatewayReport {
+            gateway,
+            device_id: device,
+            seq,
+            at: Instant::from_ms(at_ms),
+            rssi_dbm: rssi,
+            payload: vec![7],
+            encrypted: false,
+            ordinal: ord,
+        }
+    }
+
+    fn agg(lanes: usize) -> ClusterAggregator {
+        ClusterAggregator::new(
+            lanes,
+            4,
+            RoamingConfig {
+                hysteresis_db: 6.0,
+                min_dwell: Duration::from_secs(10),
+            },
+        )
+    }
+
+    #[test]
+    fn same_transmission_elects_best_rssi_once() {
+        let mut a = agg(3);
+        let got = a.round(
+            vec![
+                rep(0, 1, 0, 100, -70.0, 0),
+                rep(1, 1, 0, 100, -55.0, 1),
+                rep(2, 1, 0, 100, -62.0, 2),
+            ],
+            1,
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].gateway, 1);
+        assert_eq!(got[0].rssi_dbm, -55.0);
+        assert_eq!(a.lane_wins(), &[0, 1, 0]);
+        assert_eq!(a.lane_suppressions(), &[1, 0, 1]);
+        assert_eq!(a.owner_of(1), Some(1));
+    }
+
+    #[test]
+    fn repeat_copies_and_stragglers_are_suppressed() {
+        let mut a = agg(2);
+        // First copy delivered...
+        let got = a.round(vec![rep(0, 1, 5, 100, -60.0, 0)], 1);
+        assert_eq!(got.len(), 1);
+        // ...repeat copy in a later round: suppressed on both lanes.
+        let got = a.round(
+            vec![rep(0, 1, 5, 650, -58.0, 1), rep(1, 1, 5, 650, -50.0, 2)],
+            1,
+        );
+        assert!(got.is_empty());
+        assert_eq!(a.delivered(), 1);
+        assert_eq!(a.lane_suppressions(), &[1, 1]);
+        // Same-round repeat (two transmissions in one batch): the
+        // earlier one wins regardless of RSSI, the later suppresses.
+        let got = a.round(
+            vec![rep(1, 1, 6, 900, -80.0, 3), rep(0, 1, 6, 1450, -40.0, 4)],
+            1,
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].gateway, 1, "first transmission wins");
+        assert_eq!(got[0].at, Instant::from_ms(900));
+    }
+
+    #[test]
+    fn hysteresis_blocks_flapping_but_not_clear_wins() {
+        let mut a = agg(2);
+        // Adopt on lane 0.
+        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        assert_eq!(a.owner_of(7), Some(0));
+        // Lane 1 is 3 dB better — inside the 6 dB hysteresis: no move.
+        let got = a.round(
+            vec![
+                rep(0, 7, 1, 20_000, -60.0, 1),
+                rep(1, 7, 1, 20_000, -57.0, 2),
+            ],
+            1,
+        );
+        assert_eq!(a.owner_of(7), Some(0));
+        assert_eq!(a.handoffs(), 0);
+        assert!(!got[0].handoff);
+        // Lane 1 is 10 dB better and the dwell has elapsed: handoff.
+        let got = a.round(
+            vec![
+                rep(0, 7, 2, 40_000, -60.0, 3),
+                rep(1, 7, 2, 40_000, -50.0, 4),
+            ],
+            1,
+        );
+        assert_eq!(a.owner_of(7), Some(1));
+        assert_eq!(a.handoffs(), 1);
+        assert!(got[0].handoff);
+    }
+
+    #[test]
+    fn min_dwell_delays_strong_challengers() {
+        let mut a = agg(2);
+        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        // 10 dB better but only 5 s after adoption (< 10 s dwell).
+        a.round(
+            vec![rep(0, 7, 1, 5_000, -60.0, 1), rep(1, 7, 1, 5_000, -50.0, 2)],
+            1,
+        );
+        assert_eq!(a.owner_of(7), Some(0), "dwell not yet served");
+        assert_eq!(a.handoffs(), 0);
+    }
+
+    #[test]
+    fn deaf_incumbent_loses_immediately() {
+        let mut a = agg(2);
+        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        // Owner heard nothing, challenger barely hears it, 1 s in:
+        // dwell and hysteresis are waived.
+        a.round(vec![rep(1, 7, 1, 1_000, -89.0, 1)], 1);
+        assert_eq!(a.owner_of(7), Some(1));
+        assert_eq!(a.handoffs(), 1);
+    }
+
+    #[test]
+    fn eviction_forgets_devices_and_counts() {
+        let mut a = agg(1);
+        a.round(vec![rep(0, 1, 0, 0, -60.0, 0)], 1);
+        a.round(vec![rep(0, 2, 0, 50_000, -60.0, 1)], 1);
+        assert_eq!(a.devices_tracked(), 2);
+        let gone = a.evict_stale(Instant::from_secs(70), Duration::from_secs(30));
+        assert_eq!(gone, vec![1]);
+        assert_eq!(a.devices_tracked(), 1);
+        assert_eq!(a.evicted(), 1);
+        // The evicted device re-delivers (fresh dedup state).
+        let got = a.round(vec![rep(0, 1, 0, 80_000, -60.0, 2)], 1);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn clear_dedup_keeps_ownership() {
+        let mut a = agg(2);
+        a.round(vec![rep(1, 3, 9, 0, -60.0, 0)], 1);
+        a.clear_dedup();
+        assert_eq!(a.owner_of(3), Some(1));
+        let got = a.round(vec![rep(1, 3, 9, 60_000, -60.0, 1)], 1);
+        assert_eq!(got.len(), 1, "epoch cleared: same seq delivers again");
+    }
+
+    #[test]
+    fn rounds_are_worker_count_independent() {
+        let batch = |ord0: u64| -> Vec<GatewayReport> {
+            (0..200u32)
+                .flat_map(|d| {
+                    (0..3usize).map(move |g| {
+                        rep(
+                            g,
+                            d % 37 + 1,
+                            (d / 37) as u16,
+                            1_000 + (d % 37) as u64 * 10,
+                            -60.0 - (g as f64) * (d % 5) as f64,
+                            ord0 + (d * 3 + g as u32) as u64,
+                        )
+                    })
+                })
+                .collect()
+        };
+        let run = |workers: usize| {
+            let mut a = agg(3);
+            let d1 = a.round(batch(0), workers);
+            let d2 = a.round(batch(1000), workers);
+            (d1, d2, a.stats_snapshot())
+        };
+        let base = run(1);
+        for w in [2, 8] {
+            assert_eq!(run(w), base, "workers {w}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The cluster facade: lanes of [`GatewayIngest`] feeding one
+//! [`ClusterAggregator`] through bounded [`ReportQueue`]s.
+//!
+//! A [`GatewayCluster`] owns the whole pipeline downstream of the
+//! radios:
+//!
+//! ```text
+//!   radio 0 ─ GatewayIngest ─ ReportQueue ─┐
+//!   radio 1 ─ GatewayIngest ─ ReportQueue ─┼─ ClusterAggregator ─ deliveries
+//!   radio N ─ GatewayIngest ─ ReportQueue ─┘      (sharded)
+//! ```
+//!
+//! One [`poll`](GatewayCluster::poll) call drains every lane from the
+//! shared [`Medium`] up to an instant, pushes each lane's survivors
+//! through its bounded queue (tail-dropping and counting overflow),
+//! then runs one aggregation round over everything the queues held.
+//! Lanes are drained in index order and reports are stamped with a
+//! serial enqueue ordinal, so for a fixed world the batch handed to the
+//! aggregator — and therefore every delivery, ownership decision, and
+//! counter — is identical at any worker count.
+//!
+//! The caller keeps ownership of the [`Medium`] (and of history
+//! retirement via `release_all` in bounded mode), matching how the
+//! fleet scenario drives single gateways.
+
+use crate::aggregator::{ClusterAggregator, ClusterStats, RoamingConfig};
+use crate::queue::ReportQueue;
+use crate::report::{ClusterDelivery, GatewayReport};
+use wile_radio::medium::Medium;
+use wile_radio::plan::FaultTimeline;
+use wile_radio::time::{Duration, Instant};
+use wile_sim::ingest::GatewayIngest;
+
+/// Cluster-wide tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Per-lane queue bound (reports per poll interval). `None` means
+    /// unbounded — used by the differential oracle, where the
+    /// single-gateway reference has no queue at all.
+    pub queue_capacity: Option<usize>,
+    /// Roaming/handoff behaviour.
+    pub roaming: RoamingConfig,
+    /// How many device shards an aggregation round fans out over.
+    /// Fixed per cluster — never derived from the worker count — so
+    /// results are worker-count independent.
+    pub shards: usize,
+    /// Evict devices unheard for this long on each
+    /// [`GatewayCluster::evict_stale`] call.
+    pub stale_after: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            queue_capacity: Some(4096),
+            roaming: RoamingConfig::default(),
+            shards: 8,
+            stale_after: Duration::from_secs(600),
+        }
+    }
+}
+
+/// One gateway's slot in the cluster.
+#[derive(Debug)]
+struct Lane {
+    ingest: GatewayIngest,
+    queue: ReportQueue,
+    hears: u64,
+}
+
+/// A sharded multi-gateway ingestion cluster. See the module docs for
+/// the pipeline shape and determinism contract.
+#[derive(Debug)]
+pub struct GatewayCluster {
+    cfg: ClusterConfig,
+    lanes: Vec<Lane>,
+    agg: ClusterAggregator,
+    next_ordinal: u64,
+}
+
+impl GatewayCluster {
+    /// An empty cluster; add gateways with
+    /// [`add_gateway`](GatewayCluster::add_gateway).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let agg = ClusterAggregator::new(0, cfg.shards, cfg.roaming);
+        GatewayCluster {
+            cfg,
+            lanes: Vec::new(),
+            agg,
+            next_ordinal: 0,
+        }
+    }
+
+    /// Register a gateway pipeline; returns its lane index (drain
+    /// order, tie-break order, and the index reported in stats).
+    pub fn add_gateway(&mut self, ingest: GatewayIngest) -> usize {
+        let queue = match self.cfg.queue_capacity {
+            Some(cap) => ReportQueue::bounded(cap),
+            None => ReportQueue::unbounded(),
+        };
+        self.lanes.push(Lane {
+            ingest,
+            queue,
+            hears: 0,
+        });
+        self.agg.add_lane()
+    }
+
+    /// Number of gateways in the cluster.
+    pub fn gateways(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Borrow a lane's gateway pipeline (stats, link health).
+    pub fn ingest(&self, lane: usize) -> &GatewayIngest {
+        &self.lanes[lane].ingest
+    }
+
+    /// Mutably borrow a lane's gateway pipeline.
+    pub fn ingest_mut(&mut self, lane: usize) -> &mut GatewayIngest {
+        &mut self.lanes[lane].ingest
+    }
+
+    /// The lane currently owning `device_id`, if tracked.
+    pub fn owner_of(&self, device_id: u32) -> Option<usize> {
+        self.agg.owner_of(device_id)
+    }
+
+    /// Drain every lane from the medium up to `up_to`, queue the
+    /// reports (bounded, with drop accounting), and run one sharded
+    /// aggregation round with up to `workers` threads. Returns the
+    /// cluster-wide deliveries, sorted by `(arrival, device, seq)`.
+    pub fn poll(
+        &mut self,
+        medium: &mut Medium,
+        mut faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+        workers: usize,
+    ) -> Vec<ClusterDelivery> {
+        let mut batch = Vec::new();
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+            for r in lane.ingest.drain(medium, faults.as_deref_mut(), up_to) {
+                lane.hears += 1;
+                let report = GatewayReport::from_received(idx, self.next_ordinal, r);
+                self.next_ordinal += 1;
+                lane.queue.push(report);
+            }
+            batch.extend(lane.queue.drain());
+        }
+        self.agg.round(batch, workers)
+    }
+
+    /// Evict devices unheard for [`ClusterConfig::stale_after`];
+    /// returns the evicted ids, sorted.
+    pub fn evict_stale(&mut self, now: Instant) -> Vec<u32> {
+        self.agg.evict_stale(now, self.cfg.stale_after)
+    }
+
+    /// Forget cluster-wide dedup state at a sequence-epoch boundary
+    /// (pair with [`wile::monitor::Gateway::clear_dedup`] on each
+    /// lane's gateway).
+    pub fn clear_dedup(&mut self) {
+        self.agg.clear_dedup();
+        for lane in &mut self.lanes {
+            lane.ingest.gateway_mut().clear_dedup();
+        }
+    }
+
+    /// Snapshot every counter the cluster keeps: per-lane hears, queue
+    /// drops and high-water marks, election wins and suppressions,
+    /// plus cluster totals. The snapshot satisfies
+    /// [`ClusterStats::conserves_offered_load`] after every poll.
+    pub fn stats(&self) -> ClusterStats {
+        let mut s = self.agg.stats_snapshot();
+        for (i, lane) in self.lanes.iter().enumerate() {
+            s.lanes[i].hears = lane.hears;
+            s.lanes[i].queue_drops = lane.queue.drops();
+            s.lanes[i].queue_high_water = lane.queue.high_water();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wile::inject::Injector;
+    use wile::monitor::Gateway;
+    use wile::registry::DeviceIdentity;
+    use wile_radio::medium::{Medium, RadioConfig};
+
+    /// Two gateways 1 m / 9 m from a device at the origin-adjacent
+    /// position: both hear it, lane 0 louder.
+    fn world() -> (Medium, GatewayCluster, wile_radio::medium::RadioId) {
+        let mut medium = Medium::new(Default::default(), 11);
+        let near = medium.attach(RadioConfig::default());
+        let far = medium.attach(RadioConfig {
+            position_m: (8.0, 0.0),
+            ..Default::default()
+        });
+        let dev = medium.attach(RadioConfig {
+            position_m: (1.0, 0.0),
+            ..Default::default()
+        });
+        let mut cluster = GatewayCluster::new(ClusterConfig::default());
+        cluster.add_gateway(GatewayIngest::new(near, Gateway::new()));
+        cluster.add_gateway(GatewayIngest::new(far, Gateway::new()));
+        (medium, cluster, dev)
+    }
+
+    #[test]
+    fn overlapping_gateways_deliver_once_and_conserve() {
+        let (mut medium, mut cluster, dev) = world();
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        inj.inject(&mut medium, dev, b"reading-a");
+        inj.inject(&mut medium, dev, b"reading-b");
+        let got = cluster.poll(&mut medium, None, Instant::from_secs(5), 1);
+        assert_eq!(got.len(), 2, "two messages, each delivered once");
+        assert!(got.windows(2).all(|w| w[0].at <= w[1].at));
+        let stats = cluster.stats();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.lanes[0].hears, 2);
+        assert_eq!(stats.lanes[1].hears, 2);
+        assert_eq!(stats.lanes[0].wins, 2, "nearer gateway wins the election");
+        assert_eq!(stats.lanes[1].suppressions, 2);
+        assert!(stats.conserves_offered_load());
+        assert_eq!(cluster.owner_of(5), Some(0));
+    }
+
+    #[test]
+    fn bounded_queue_drops_are_counted_and_conserved() {
+        let mut medium = Medium::new(Default::default(), 11);
+        let gw = medium.attach(RadioConfig::default());
+        let dev = medium.attach(RadioConfig {
+            position_m: (1.0, 0.0),
+            ..Default::default()
+        });
+        let mut cluster = GatewayCluster::new(ClusterConfig {
+            queue_capacity: Some(3),
+            ..Default::default()
+        });
+        cluster.add_gateway(GatewayIngest::new(gw, Gateway::new()));
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        for n in 0..8 {
+            inj.inject(&mut medium, dev, format!("m{n}").as_bytes());
+        }
+        let got = cluster.poll(&mut medium, None, Instant::from_secs(60), 1);
+        assert_eq!(got.len(), 3, "queue bound caps one poll's deliveries");
+        let stats = cluster.stats();
+        assert_eq!(stats.lanes[0].hears, 8);
+        assert_eq!(stats.lanes[0].queue_drops, 5);
+        assert_eq!(stats.lanes[0].queue_high_water, 3);
+        assert!(stats.conserves_offered_load());
+    }
+
+    #[test]
+    fn stale_devices_evict_via_config() {
+        let (mut medium, mut cluster, dev) = world();
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        inj.inject(&mut medium, dev, b"only");
+        cluster.poll(&mut medium, None, Instant::from_secs(5), 1);
+        assert!(cluster.evict_stale(Instant::from_secs(100)).is_empty());
+        assert_eq!(cluster.evict_stale(Instant::from_secs(2_000)), vec![5]);
+        assert_eq!(cluster.owner_of(5), None);
+    }
+}

@@ -28,7 +28,12 @@
 //! * [`engine`] — the deterministic parallel run engine: independent
 //!   cells (campaign arms × seeds, sweep points, scenario rows) fanned
 //!   across a thread pool with index-ordered merging, byte-identical to
-//!   serial for any worker count;
+//!   serial for any worker count (re-exported from `wile_sim::engine`,
+//!   where it moved so `wile-cluster` can shard aggregation rounds);
+//! * [`metro`] — the multi-gateway metro deployment on `wile-cluster`:
+//!   overlapping gateways, cross-gateway dedup with best-RSSI election,
+//!   roaming handoffs, bounded lane queues (experiment E11), with a
+//!   single-gateway reference runner as the differential oracle;
 //! * [`report`] — paper-style text rendering of all of the above.
 
 #![forbid(unsafe_code)]
@@ -41,6 +46,7 @@ pub mod campaign;
 pub mod engine;
 pub mod fig3;
 pub mod fig4;
+pub mod metro;
 pub mod report;
 pub mod scenario;
 pub mod session;

@@ -1,0 +1,613 @@
+//! Metro scenario: a multi-gateway Wi-LE deployment on the cluster
+//! subsystem (experiment E11).
+//!
+//! A grid of gateways with overlapping coverage blankets a hall of
+//! beaconing devices; every gateway runs the standard
+//! [`GatewayIngest`] pipeline and all of them feed one
+//! [`GatewayCluster`], which dedups cross-gateway copies (best-RSSI
+//! election), tracks per-device ownership with roaming hysteresis, and
+//! applies bounded per-lane queues with drop accounting. The whole
+//! thing runs on the `wile-sim` actor kernel with the bounded medium,
+//! so the E11 configuration — 8 gateways × 20,000 devices × 1 simulated
+//! hour — completes in seconds with O(in-flight) medium memory.
+//!
+//! Two runners share one world builder:
+//!
+//! - [`run_metro`] — the cluster pipeline, sharded across the
+//!   deterministic parallel engine (`workers` threads, byte-identical
+//!   results at any setting).
+//! - [`run_metro_reference`] — a single plain [`GatewayIngest`] with no
+//!   cluster at all, for the differential oracle: a 1-gateway cluster
+//!   must reproduce it byte-for-byte (`tests/cluster_diff.rs`).
+//!
+//! Shadowing is deliberately enabled (static per link): gateways hear
+//! the same device at persistently different strengths, which gives the
+//! election real work, and cell-edge loss occasionally deafens an
+//! owner, which exercises roaming handoffs.
+
+use wile::beacon::BeaconTemplate;
+use wile::monitor::Gateway;
+use wile::registry::Registry;
+use wile_cluster::{ClusterConfig, ClusterDelivery, ClusterStats, GatewayCluster, RoamingConfig};
+use wile_dot11::mac::SeqControl;
+use wile_dot11::phy::{frame_airtime_us, PhyRate};
+use wile_radio::channel::ChannelModel;
+use wile_radio::medium::{RadioConfig, RadioId, TxParams};
+use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
+use wile_radio::time::{Duration, Instant};
+use wile_sim::ingest::GatewayIngest;
+use wile_sim::kernel::{Actor, ActorId, Ctx, Kernel};
+
+/// Metro deployment configuration.
+#[derive(Debug, Clone)]
+pub struct MetroConfig {
+    /// Gateway count; laid out row-major on a grid of `gw_cols`
+    /// columns.
+    pub gateways: usize,
+    /// Grid columns.
+    pub gw_cols: usize,
+    /// Grid pitch, metres. The WILE_PAPER rate reaches ~10 m at 0 dBm
+    /// under the default model, so a pitch below that gives every
+    /// device overlapping coverage.
+    pub gw_spacing_m: f64,
+    /// Device count; positions are drawn deterministically from the
+    /// seed inside the grid's bounding box plus `margin_m`.
+    pub devices: usize,
+    /// How far outside the gateway hull devices may sit, metres.
+    pub margin_m: f64,
+    /// Per-device beacon period (wakes staggered across it).
+    pub period: Duration,
+    /// Simulated run length.
+    pub duration: Duration,
+    /// Cluster poll-and-release cadence.
+    pub poll_every: Duration,
+    /// Reading size, bytes.
+    pub payload_len: usize,
+    /// Per-lane queue bound (`None` = unbounded, oracle mode).
+    pub queue_capacity: Option<usize>,
+    /// Static per-link shadowing sigma, dB.
+    pub shadowing_sigma_db: f64,
+    /// Cluster stale-device eviction horizon.
+    pub stale_after: Duration,
+    /// Optional fault plan applied at every gateway.
+    pub faults: Option<FaultPlan>,
+    /// Retain the full delivery stream in the report (differential
+    /// tests); at metro scale leave it off and compare digests.
+    pub keep_deliveries: bool,
+    /// World seed.
+    pub seed: u64,
+}
+
+impl MetroConfig {
+    /// The E11 configuration: 8 gateways in a 4×2 grid, 20,000 devices,
+    /// one simulated hour.
+    pub fn metro(seed: u64) -> Self {
+        MetroConfig {
+            gateways: 8,
+            gw_cols: 4,
+            gw_spacing_m: 8.0,
+            devices: 20_000,
+            margin_m: 4.0,
+            period: Duration::from_secs(60),
+            duration: Duration::from_secs(3_600),
+            poll_every: Duration::from_secs(10),
+            payload_len: 8,
+            queue_capacity: Some(4096),
+            shadowing_sigma_db: 6.0,
+            stale_after: Duration::from_secs(600),
+            faults: None,
+            keep_deliveries: false,
+            seed,
+        }
+    }
+
+    /// A small multi-gateway configuration for tests.
+    pub fn smoke(seed: u64) -> Self {
+        MetroConfig {
+            gateways: 3,
+            gw_cols: 3,
+            gw_spacing_m: 6.0,
+            devices: 150,
+            margin_m: 3.0,
+            period: Duration::from_secs(30),
+            duration: Duration::from_secs(300),
+            poll_every: Duration::from_secs(5),
+            payload_len: 8,
+            queue_capacity: Some(1024),
+            shadowing_sigma_db: 6.0,
+            stale_after: Duration::from_secs(120),
+            faults: None,
+            keep_deliveries: true,
+            seed,
+        }
+    }
+
+    /// The differential-oracle configuration: one gateway, unbounded
+    /// lane (the reference has no queue), full delivery retention, and
+    /// a fault plan so the oracle also covers the fault-filtered path.
+    pub fn oracle(seed: u64) -> Self {
+        MetroConfig {
+            gateways: 1,
+            gw_cols: 1,
+            gw_spacing_m: 8.0,
+            devices: 40,
+            margin_m: 6.0,
+            period: Duration::from_secs(15),
+            duration: Duration::from_secs(300),
+            poll_every: Duration::from_secs(5),
+            payload_len: 8,
+            queue_capacity: None,
+            shadowing_sigma_db: 4.0,
+            stale_after: Duration::from_secs(600),
+            faults: Some(FaultPlan::new(
+                vec![
+                    FaultPhase::new(
+                        Instant::from_secs(60),
+                        Instant::from_secs(90),
+                        Disturbance::GatewayOutage,
+                        "reboot",
+                    ),
+                    FaultPhase::new(
+                        Instant::from_secs(120),
+                        Instant::from_secs(240),
+                        Disturbance::RandomLoss { p: 0.3 },
+                        "lossy patch",
+                    ),
+                ],
+                seed,
+            )),
+            keep_deliveries: true,
+            seed,
+        }
+    }
+
+    fn gw_position(&self, i: usize) -> (f64, f64) {
+        let col = i % self.gw_cols;
+        let row = i / self.gw_cols;
+        (
+            col as f64 * self.gw_spacing_m,
+            row as f64 * self.gw_spacing_m,
+        )
+    }
+
+    /// Deterministic device position: splitmix64 draws inside the
+    /// gateway hull's bounding box extended by the margin.
+    fn device_position(&self, i: usize) -> (f64, f64) {
+        let rows = self.gateways.div_ceil(self.gw_cols);
+        let width = (self.gw_cols.saturating_sub(1)) as f64 * self.gw_spacing_m;
+        let height = (rows.saturating_sub(1)) as f64 * self.gw_spacing_m;
+        let r1 = splitmix64(self.seed ^ (i as u64).wrapping_mul(2).wrapping_add(1));
+        let r2 = splitmix64(r1);
+        let unit = |r: u64| r as f64 / u64::MAX as f64;
+        (
+            -self.margin_m + unit(r1) * (width + 2.0 * self.margin_m),
+            -self.margin_m + unit(r2) * (height + 2.0 * self.margin_m),
+        )
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a metro run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetroReport {
+    /// Gateway count.
+    pub gateways: usize,
+    /// Device count.
+    pub devices: usize,
+    /// Beacons transmitted fleet-wide.
+    pub beacons_sent: u64,
+    /// Full cluster counters (per-lane hears, wins, suppressions,
+    /// queue drops, high-water marks, handoffs, evictions). In the
+    /// reference runner this carries the single gateway's view with
+    /// cluster-only fields zero.
+    pub stats: ClusterStats,
+    /// The delivery stream (empty unless `keep_deliveries`).
+    pub deliveries: Vec<ClusterDelivery>,
+    /// FNV-1a digest over the full delivery stream — compact
+    /// byte-identity witness at metro scale.
+    pub delivery_digest: u64,
+    /// Peak retained transmissions in the bounded medium.
+    pub peak_live_tx: usize,
+    /// Transmissions retired by the bounded medium.
+    pub retired_tx: u64,
+    /// Devices evicted as stale (sorted ids), mirrored out of the
+    /// registry too.
+    pub evicted: Vec<u32>,
+    /// Devices still provisioned in the registry after eviction.
+    pub registry_devices: usize,
+    /// Simulated end time.
+    pub sim_end: Instant,
+}
+
+impl MetroReport {
+    /// Cluster-wide delivery ratio over unique messages offered (each
+    /// beacon is one unique message; copies are not double-counted).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.beacons_sent == 0 {
+            1.0
+        } else {
+            self.stats.delivered as f64 / self.beacons_sent as f64
+        }
+    }
+}
+
+/// Events driving the metro world.
+enum MetroEv {
+    /// A device wakes and transmits one beacon.
+    Wake,
+    /// The sink (cluster or reference gateway) drains and releases.
+    Poll,
+}
+
+/// One transmit-only device (the fleet scenario's template pattern).
+struct MetroDevice {
+    radio: RadioId,
+    template: BeaconTemplate,
+    payload: Vec<u8>,
+    seq: u16,
+    sent: u64,
+    period: Duration,
+    end: Instant,
+}
+
+impl Actor<MetroEv> for MetroDevice {
+    fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
+        let frame = self.template.render(
+            self.seq,
+            SeqControl::new(self.seq & 0x0FFF, 0),
+            &self.payload,
+        );
+        let airtime = Duration::from_us(frame_airtime_us(PhyRate::WILE_PAPER, frame.len()));
+        ctx.medium.transmit(
+            self.radio,
+            now,
+            TxParams {
+                airtime,
+                power_dbm: 0.0,
+                min_snr_db: PhyRate::WILE_PAPER.min_snr_db(),
+            },
+            frame,
+        );
+        self.seq = self.seq.wrapping_add(1);
+        self.sent += 1;
+        let next = now + self.period;
+        if next <= self.end {
+            ctx.schedule(next, ctx.self_id(), MetroEv::Wake);
+        }
+    }
+}
+
+/// Fold one delivery into the FNV-1a digest.
+fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
+    let mut fold = |v: u64| {
+        *h ^= v;
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    fold(d.device_id as u64);
+    fold(d.seq as u64);
+    fold(d.at.as_nanos());
+    fold(d.gateway as u64);
+    fold(d.rssi_dbm.to_bits());
+    fold(u64::from(d.encrypted) << 1 | u64::from(d.handoff));
+    fold(d.payload.len() as u64);
+    for &b in &d.payload {
+        fold(b as u64);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The cluster sink: poll, digest, release, sample memory, repeat.
+struct ClusterSink {
+    cluster: GatewayCluster,
+    workers: usize,
+    poll_every: Duration,
+    horizon: Instant,
+    keep: bool,
+    deliveries: Vec<ClusterDelivery>,
+    digest: u64,
+    peak_live_tx: usize,
+    evicted: Vec<u32>,
+}
+
+impl Actor<MetroEv> for ClusterSink {
+    fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
+        let got = self
+            .cluster
+            .poll(ctx.medium, ctx.faults.as_deref_mut(), now, self.workers);
+        for d in &got {
+            fold_delivery(&mut self.digest, d);
+        }
+        if self.keep {
+            self.deliveries.extend(got);
+        }
+        self.evicted.extend(self.cluster.evict_stale(now));
+        // Devices are transmit-only: waive history so the bounded
+        // medium retires it.
+        ctx.medium.release_all(now);
+        self.peak_live_tx = self.peak_live_tx.max(ctx.medium.live_tx_count());
+        if now < self.horizon {
+            let next = (now + self.poll_every).min(self.horizon);
+            ctx.schedule(next, ctx.self_id(), MetroEv::Poll);
+        }
+    }
+}
+
+/// The reference sink: one plain gateway pipeline, no cluster.
+struct ReferenceSink {
+    ingest: GatewayIngest,
+    poll_every: Duration,
+    horizon: Instant,
+    keep: bool,
+    deliveries: Vec<ClusterDelivery>,
+    digest: u64,
+    hears: u64,
+    peak_live_tx: usize,
+}
+
+impl Actor<MetroEv> for ReferenceSink {
+    fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
+        for r in self
+            .ingest
+            .drain(ctx.medium, ctx.faults.as_deref_mut(), now)
+        {
+            self.hears += 1;
+            let d = ClusterDelivery {
+                device_id: r.device_id,
+                seq: r.seq,
+                at: r.at,
+                rssi_dbm: r.rssi_dbm,
+                gateway: 0,
+                payload: r.payload,
+                encrypted: r.encrypted,
+                handoff: false,
+            };
+            fold_delivery(&mut self.digest, &d);
+            if self.keep {
+                self.deliveries.push(d);
+            }
+        }
+        ctx.medium.release_all(now);
+        self.peak_live_tx = self.peak_live_tx.max(ctx.medium.live_tx_count());
+        if now < self.horizon {
+            let next = (now + self.poll_every).min(self.horizon);
+            ctx.schedule(next, ctx.self_id(), MetroEv::Poll);
+        }
+    }
+}
+
+/// Shared world construction: kernel, gateway radios (attached first,
+/// in lane order), provisioned registry, device actors with staggered
+/// wakes. Returns the kernel, the gateway radios, the registry, and the
+/// device actor ids.
+fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, Vec<ActorId>) {
+    assert!(cfg.gateways >= 1 && cfg.devices >= 1);
+    assert!(cfg.gw_cols >= 1);
+    let model = ChannelModel {
+        shadowing_sigma_db: cfg.shadowing_sigma_db,
+        ..Default::default()
+    };
+    let mut kernel: Kernel<MetroEv> = Kernel::new(model, cfg.seed);
+    // At metro scale a per-delivery log would dominate the run; the
+    // report carries aggregates and the digest instead.
+    kernel.log_mut().set_enabled(false);
+    if let Some(plan) = &cfg.faults {
+        kernel.set_faults(FaultTimeline::new(plan.clone()));
+    }
+
+    let gw_radios: Vec<RadioId> = (0..cfg.gateways)
+        .map(|i| {
+            kernel.medium_mut().attach(RadioConfig {
+                position_m: cfg.gw_position(i),
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let end = Instant::ZERO + cfg.duration;
+    let mut registry = Registry::new();
+    let mut device_ids: Vec<ActorId> = Vec::with_capacity(cfg.devices);
+    for i in 0..cfg.devices {
+        let radio = kernel.medium_mut().attach(RadioConfig {
+            position_m: cfg.device_position(i),
+            ..Default::default()
+        });
+        let device_id = i as u32 + 1;
+        let identity = wile::registry::DeviceIdentity::new(device_id);
+        let template =
+            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded");
+        registry.add(identity);
+        device_ids.push(kernel.add_actor(MetroDevice {
+            radio,
+            template,
+            payload: vec![0u8; cfg.payload_len],
+            seq: 0,
+            sent: 0,
+            period: cfg.period,
+            end,
+        }));
+    }
+
+    // Stagger wakes uniformly across one period so arrivals never tie.
+    let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
+    for (i, &id) in device_ids.iter().enumerate() {
+        let at = Instant::from_ms(500) + Duration::from_nanos(stagger_ns * i as u64);
+        kernel.schedule(at, id, MetroEv::Wake);
+    }
+    (kernel, gw_radios, registry, device_ids)
+}
+
+/// Sum of beacons sent, consuming the device actors.
+fn beacons_sent(kernel: &mut Kernel<MetroEv>, device_ids: &[ActorId]) -> u64 {
+    device_ids
+        .iter()
+        .map(|&id| kernel.remove_actor::<MetroDevice>(id).sent)
+        .sum()
+}
+
+/// Run the metro deployment through the cluster with up to `workers`
+/// aggregation threads. The result — deliveries, digest, every counter
+/// — is byte-identical at any `workers` setting.
+pub fn run_metro(cfg: &MetroConfig, workers: usize) -> MetroReport {
+    let (mut kernel, gw_radios, mut registry, device_ids) = build_world(cfg);
+
+    let mut cluster = GatewayCluster::new(ClusterConfig {
+        queue_capacity: cfg.queue_capacity,
+        roaming: RoamingConfig::default(),
+        shards: 8,
+        stale_after: cfg.stale_after,
+    });
+    for radio in gw_radios {
+        cluster.add_gateway(GatewayIngest::new(radio, Gateway::new()));
+    }
+    let horizon = Instant::ZERO + cfg.duration + cfg.period;
+    let sink = kernel.add_actor(ClusterSink {
+        cluster,
+        workers,
+        poll_every: cfg.poll_every,
+        horizon,
+        keep: cfg.keep_deliveries,
+        deliveries: Vec::new(),
+        digest: FNV_OFFSET,
+        peak_live_tx: 0,
+        evicted: Vec::new(),
+    });
+    kernel.schedule(Instant::ZERO + cfg.poll_every, sink, MetroEv::Poll);
+
+    kernel.run();
+
+    let beacons = beacons_sent(&mut kernel, &device_ids);
+    let sink = kernel.remove_actor::<ClusterSink>(sink);
+    let stats = sink.cluster.stats();
+    assert!(
+        stats.conserves_offered_load(),
+        "delivered + suppressions + drops must equal hears: {stats:?}"
+    );
+    // Mirror cluster evictions into the provisioning registry.
+    for id in &sink.evicted {
+        registry.remove(*id);
+    }
+    MetroReport {
+        gateways: cfg.gateways,
+        devices: cfg.devices,
+        beacons_sent: beacons,
+        stats,
+        deliveries: sink.deliveries,
+        delivery_digest: sink.digest,
+        peak_live_tx: sink.peak_live_tx,
+        retired_tx: kernel.medium().retired_tx_count(),
+        evicted: sink.evicted,
+        registry_devices: registry.len(),
+        sim_end: kernel.now(),
+    }
+}
+
+/// Run the same world through one plain [`GatewayIngest`] — no cluster,
+/// no queue, no aggregator — producing a report in the same shape. The
+/// differential oracle: with `cfg.gateways == 1` the cluster runner
+/// must match this byte for byte on deliveries and digest.
+pub fn run_metro_reference(cfg: &MetroConfig) -> MetroReport {
+    assert_eq!(
+        cfg.gateways, 1,
+        "the reference is a single gateway by construction"
+    );
+    let (mut kernel, gw_radios, registry, device_ids) = build_world(cfg);
+    let horizon = Instant::ZERO + cfg.duration + cfg.period;
+    let sink = kernel.add_actor(ReferenceSink {
+        ingest: GatewayIngest::new(gw_radios[0], Gateway::new()),
+        poll_every: cfg.poll_every,
+        horizon,
+        keep: cfg.keep_deliveries,
+        deliveries: Vec::new(),
+        digest: FNV_OFFSET,
+        hears: 0,
+        peak_live_tx: 0,
+    });
+    kernel.schedule(Instant::ZERO + cfg.poll_every, sink, MetroEv::Poll);
+
+    kernel.run();
+
+    let beacons = beacons_sent(&mut kernel, &device_ids);
+    let sink = kernel.remove_actor::<ReferenceSink>(sink);
+    let mut stats = ClusterStats::default();
+    stats.lanes.push(wile_cluster::LaneStats {
+        hears: sink.hears,
+        queue_drops: 0,
+        queue_high_water: 0,
+        wins: sink.hears,
+        suppressions: 0,
+    });
+    stats.delivered = sink.hears;
+    stats.devices_tracked = sink
+        .deliveries
+        .iter()
+        .map(|d| d.device_id)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    MetroReport {
+        gateways: 1,
+        devices: cfg.devices,
+        beacons_sent: beacons,
+        stats,
+        deliveries: sink.deliveries,
+        delivery_digest: sink.digest,
+        peak_live_tx: sink.peak_live_tx,
+        retired_tx: kernel.medium().retired_tx_count(),
+        evicted: Vec::new(),
+        registry_devices: registry.len(),
+        sim_end: kernel.now(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_metro_dedups_and_conserves() {
+        let report = run_metro(&MetroConfig::smoke(42), 1);
+        // 150 devices × ~10 periods.
+        assert!(report.beacons_sent >= 150 * 9, "{report:?}");
+        // Overlapping coverage: gateways hear far more copies than
+        // there are messages, and the cluster folds them to one each.
+        assert!(
+            report.stats.total_hears() > report.stats.delivered,
+            "no overlap exercised: {:?}",
+            report.stats
+        );
+        assert!(report.stats.total_suppressions() > 0);
+        assert!(report.delivery_ratio() > 0.9, "{report:?}");
+        // Every delivered message appears exactly once.
+        let mut keys: Vec<(u32, u16)> = report
+            .deliveries
+            .iter()
+            .map(|d| (d.device_id, d.seq))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len() as u64, report.stats.delivered);
+        // The bounded medium stayed bounded.
+        assert!(report.peak_live_tx < report.beacons_sent as usize / 4);
+    }
+
+    #[test]
+    fn smoke_metro_is_deterministic() {
+        let a = run_metro(&MetroConfig::smoke(7), 1);
+        let b = run_metro(&MetroConfig::smoke(7), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shadowed_overlap_produces_handoffs() {
+        // Cell-edge devices under shadowing + loss: some owner-deaf
+        // messages must occur over 10 periods, each re-homing a device.
+        let report = run_metro(&MetroConfig::smoke(42), 1);
+        assert!(report.stats.handoffs > 0, "{:?}", report.stats);
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic parallel run engine.
+//!
+//! Every expensive artifact in the workspace — campaign arms × seeds,
+//! the Fig-4 sweep grid, Table-1 scenario rows, the ablation grids, and
+//! the cluster aggregator's device shards — is a set of *independent
+//! cells*: each cell reads shared immutable state, never writes any,
+//! and owns whatever it produces. That makes them safe to fan across a
+//! [`std::thread::scope`] work pool, and because results are merged
+//! back **by cell index**, the output is byte-for-byte identical to
+//! running the same cells serially, for any worker count.
+//! `tests/engine.rs` (in `wile-scenarios`, which re-exports this
+//! module) proves this for the PR-1 fault campaign across seeds and
+//! 1/2/8-worker configurations; `tests/cluster_diff.rs` proves it for
+//! the sharded cluster aggregation.
+//!
+//! No work queue crate, no rayon: a shared atomic cursor hands out cell
+//! indices, which both balances load (cells vary wildly in cost — a
+//! 400 s campaign vs a one-row Table-1 scenario) and keeps the engine
+//! dependency-free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the `WILE_WORKERS` environment
+/// variable when set, otherwise the machine's available parallelism
+/// (1 if that cannot be determined).
+pub fn available_workers() -> usize {
+    if let Ok(v) = std::env::var("WILE_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `cells(0..n)` on `workers` threads and return the results in
+/// cell order.
+///
+/// The closure must be a pure function of its index (it may of course
+/// read shared configuration through its environment) — the engine
+/// guarantees each index runs exactly once and the output vector is
+/// ordered by index, so the merged result cannot depend on scheduling.
+/// `workers <= 1`, `n <= 1` (or a single hardware thread) degrade to a
+/// plain serial loop on the caller's thread.
+pub fn run_cells<T, F>(n: usize, workers: usize, cell: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return (0..n).map(cell).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = cell(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("cell ran exactly once")
+        })
+        .collect()
+}
+
+/// Map `items` through `f` with the default worker count, preserving
+/// input order — the parallel drop-in for `items.iter().map(f)`.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_cells(items.len(), available_workers(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_cell_order_for_any_worker_count() {
+        let serial: Vec<usize> = run_cells(37, 1, |i| i * i);
+        for workers in [2, 3, 8, 64] {
+            assert_eq!(
+                run_cells(37, workers, |i| i * i),
+                serial,
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let counters: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        run_cells(100, 8, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_cells() {
+        assert!(run_cells(0, 8, |i| i).is_empty());
+        assert_eq!(run_cells(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn uneven_cell_cost_still_merges_in_order() {
+        // Early cells are the slow ones: workers finish out of order,
+        // the merge must not care.
+        let out = run_cells(16, 4, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        assert_eq!(par_map(&items, |x| x * x + 1), serial);
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+}

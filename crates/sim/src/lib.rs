@@ -18,7 +18,11 @@
 //!   tractable ([`fleet`]);
 //! * determinism rules (FIFO tie-breaking, monotonic scheduling, seeded
 //!   randomness, bounded-medium-by-default) live here instead of in
-//!   per-module docs.
+//!   per-module docs;
+//! * the deterministic parallel run [`engine`] (PR 2) lives here too,
+//!   so layers below `wile-scenarios` — notably `wile-cluster`'s
+//!   sharded aggregation — can fan independent cells across a thread
+//!   pool with index-ordered, worker-count-independent merging.
 //!
 //! The fault campaign, two-way session, ablation sweeps, and the
 //! netstack association scenario in `wile-scenarios` all run on this
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod engine;
 pub mod fleet;
 pub mod ingest;
 pub mod kernel;

@@ -1,0 +1,97 @@
+//! E11: the metro cluster — 8 gateways × 20,000 devices × 1 simulated
+//! hour through `wile-cluster` on the `wile-sim` kernel.
+//!
+//! The multi-gateway scalability witness: overlapping coverage means
+//! every beacon is heard several times, and the cluster's sharded
+//! aggregator folds the copies into exactly-once deliveries while
+//! tracking roaming and enforcing bounded lane queues. Prints cluster
+//! statistics, the conservation check, wall-clock time and peak RSS
+//! (VmHWM from /proc/self/status where available). Numbers are recorded
+//! in EXPERIMENTS.md E11.
+//!
+//! ```sh
+//! cargo run --release --example metro_cluster
+//! ```
+
+use std::time::Instant as WallInstant;
+use wile_scenarios::engine::available_workers;
+use wile_scenarios::metro::{run_metro, MetroConfig};
+
+/// Peak resident set size in MiB, if the platform exposes it.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn main() {
+    let cfg = MetroConfig::metro(42);
+    let workers = available_workers();
+    println!(
+        "metro cluster: {} gateways ({}×{} grid, {} m pitch), {} devices, {} s simulated, {} workers",
+        cfg.gateways,
+        cfg.gw_cols,
+        cfg.gateways.div_ceil(cfg.gw_cols),
+        cfg.gw_spacing_m,
+        cfg.devices,
+        cfg.duration.as_secs_f64(),
+        workers,
+    );
+
+    let t0 = WallInstant::now();
+    let report = run_metro(&cfg, workers);
+    let wall = t0.elapsed();
+
+    let stats = &report.stats;
+    println!(
+        "beacons sent        {:>12}\n\
+         gateway hears       {:>12}  ({:.2}× coverage overlap)\n\
+         delivered           {:>12}  ({:.2}% of beacons, exactly once)\n\
+         dedup suppressions  {:>12}\n\
+         queue drops         {:>12}\n\
+         peak queue depth    {:>12}  (bound {})\n\
+         roaming handoffs    {:>12}\n\
+         devices tracked     {:>12}\n\
+         peak live tx        {:>12}  (bounded-medium witness)\n\
+         retired tx          {:>12}\n\
+         simulated end       {:>12}",
+        report.beacons_sent,
+        stats.total_hears(),
+        stats.total_hears() as f64 / report.beacons_sent.max(1) as f64,
+        stats.delivered,
+        report.delivery_ratio() * 100.0,
+        stats.total_suppressions(),
+        stats.total_drops(),
+        stats.max_queue_high_water(),
+        cfg.queue_capacity
+            .map_or_else(|| "none".into(), |c| c.to_string()),
+        stats.handoffs,
+        stats.devices_tracked,
+        report.peak_live_tx,
+        report.retired_tx,
+        report.sim_end,
+    );
+    println!(
+        "conservation        {:>12}  (delivered + suppressed + dropped == hears)",
+        if stats.conserves_offered_load() {
+            "ok"
+        } else {
+            "VIOLATED"
+        }
+    );
+    println!(
+        "per-lane hears      {:?}",
+        stats.lanes.iter().map(|l| l.hears).collect::<Vec<_>>()
+    );
+    println!(
+        "per-lane wins       {:?}",
+        stats.lanes.iter().map(|l| l.wins).collect::<Vec<_>>()
+    );
+    println!("delivery digest     {:#018x}", report.delivery_digest);
+    println!("wall clock          {:>12.2} s", wall.as_secs_f64());
+    match peak_rss_mib() {
+        Some(mib) => println!("peak RSS            {:>12.1} MiB", mib),
+        None => println!("peak RSS            {:>12}", "(unavailable)"),
+    }
+}
