@@ -25,9 +25,10 @@ use wile::reliability::{AdaptiveConfig, EnergyBudget, RepeatPolicy};
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::naive::NaiveMedium;
 use wile_radio::time::{Duration, Instant};
-use wile_scenarios::campaign::{run_campaigns, AdaptMode, CampaignConfig};
+use wile_scenarios::campaign::{run_campaign_telemetry, run_campaigns, AdaptMode, CampaignConfig};
 use wile_scenarios::fig3;
-use wile_scenarios::metro::{run_metro, MetroConfig};
+use wile_scenarios::metro::{run_metro, run_metro_with_telemetry, MetroConfig};
+use wile_telemetry::{Json, Telemetry};
 
 fn fast() -> bool {
     std::env::var("WILE_BENCH_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -296,5 +297,104 @@ fn bench_cluster(c: &mut Criterion) {
     println!("\nwrote {path}");
 }
 
-criterion_group!(benches, bench_perf, bench_cluster);
+fn bench_telemetry(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 3 };
+    let workers = wile_scenarios::engine::available_workers();
+    // Full mode times the E11/E12 metro configuration (PR-4's 13 s
+    // baseline); fast mode shrinks it for the CI smoke run.
+    let cfg = if fast {
+        cluster_cell(4, 500)
+    } else {
+        MetroConfig::metro(42)
+    };
+
+    wile_bench::banner("telemetry overhead (metro, off vs on)");
+    // Differential witness before timing: observation changes nothing.
+    let plain = run_metro(&cfg, workers);
+    let mut probe_tel = Telemetry::new();
+    let observed = run_metro_with_telemetry(&cfg, workers, &mut probe_tel);
+    assert_eq!(
+        plain.delivery_digest, observed.delivery_digest,
+        "telemetry steered the run"
+    );
+    let tel_digest = probe_tel.report().digest();
+    let instruments = probe_tel.registry().len();
+
+    let off_s = median_s(reps, || run_metro(&cfg, workers).delivery_digest);
+    let on_s = median_s(reps, || {
+        let mut tel = Telemetry::new();
+        let digest = run_metro_with_telemetry(&cfg, workers, &mut tel).delivery_digest;
+        digest ^ tel.report().digest()
+    });
+    let overhead_pct = (on_s / off_s - 1.0) * 100.0;
+    println!(
+        "off {off_s:.3} s, on {on_s:.3} s ({overhead_pct:+.2}% overhead, \
+         {instruments} instruments, snapshot digest {tel_digest:#018x})"
+    );
+
+    // Criterion-visible pair on a small cell.
+    let small = cluster_cell(2, if fast { 100 } else { 200 });
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(10);
+    g.bench_function("metro_telemetry_off", |b| {
+        b.iter(|| black_box(run_metro(&small, workers).delivery_digest))
+    });
+    g.bench_function("metro_telemetry_on", |b| {
+        b.iter(|| {
+            let mut tel = Telemetry::new();
+            black_box(run_metro_with_telemetry(&small, workers, &mut tel).delivery_digest)
+        })
+    });
+    g.finish();
+
+    // Sample run trace: a traced fault campaign, exported as the
+    // schema-versioned JSONL artifact CI uploads alongside the numbers.
+    let (_report, tel) = run_campaign_telemetry(&CampaignConfig::demo(42, feedback_mode()));
+    let jsonl = tel.trace().to_jsonl();
+    let trace_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../TRACE_E12.jsonl");
+    std::fs::write(trace_path, &jsonl).expect("write TRACE_E12.jsonl");
+
+    let json = Json::obj()
+        .field("pr", Json::int(5))
+        .field("fast_mode", Json::Bool(fast))
+        .field("workers", Json::int(workers as u64))
+        .field(
+            "note",
+            Json::str(
+                "telemetry overhead on the metro scenario: identical runs with the collector \
+                 disabled vs enabled (metrics on, trace off); the delivery digest is asserted \
+                 identical before timing and the snapshot digest is worker-count independent",
+            ),
+        )
+        .field(
+            "metro",
+            Json::obj()
+                .field("gateways", Json::int(cfg.gateways as u64))
+                .field("devices", Json::int(cfg.devices as u64))
+                .field("sim_secs", Json::Num(cfg.duration.as_secs_f64()))
+                .field("off_wall_s", Json::Num((off_s * 1e4).round() / 1e4))
+                .field("on_wall_s", Json::Num((on_s * 1e4).round() / 1e4))
+                .field(
+                    "overhead_pct",
+                    Json::Num((overhead_pct * 100.0).round() / 100.0),
+                )
+                .field("instruments", Json::int(instruments as u64))
+                .field("snapshot_digest", Json::str(format!("{tel_digest:#018x}"))),
+        )
+        .field(
+            "trace",
+            Json::obj()
+                .field("path", Json::str("TRACE_E12.jsonl"))
+                .field("events", Json::int(tel.trace().len() as u64)),
+        );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_5.json");
+    println!(
+        "wrote {path} and {trace_path} ({} trace events)",
+        tel.trace().len()
+    );
+}
+
+criterion_group!(benches, bench_perf, bench_cluster, bench_telemetry);
 criterion_main!(benches);

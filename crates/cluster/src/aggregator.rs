@@ -48,6 +48,7 @@ use crate::report::{ClusterDelivery, GatewayReport};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use wile_radio::time::{Duration, Instant};
 use wile_sim::engine::run_cells;
+use wile_telemetry::Registry;
 
 /// Roaming/handoff tuning.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +157,11 @@ struct ShardOutcome {
     wins: Vec<u64>,
     suppressions: Vec<u64>,
     handoffs: u64,
+    /// Per-shard telemetry (election group sizes, win RSSI), built only
+    /// when the aggregator has telemetry enabled. Shards never share a
+    /// registry; the owner merges these back **in shard order**, so the
+    /// merged snapshot is identical at any worker count.
+    metrics: Option<Registry>,
 }
 
 /// A device's shard: a fixed multiplicative hash of its id. Depends on
@@ -177,6 +183,9 @@ pub struct ClusterAggregator {
     delivered: u64,
     handoffs: u64,
     evicted: u64,
+    /// When present, rounds record election-shape metrics here (merged
+    /// from per-shard registries in shard order).
+    telemetry: Option<Registry>,
 }
 
 impl ClusterAggregator {
@@ -193,7 +202,24 @@ impl ClusterAggregator {
             delivered: 0,
             handoffs: 0,
             evicted: 0,
+            telemetry: None,
         }
+    }
+
+    /// Start recording election-shape metrics (group sizes, win RSSI)
+    /// into an internal registry; read it back with
+    /// [`telemetry`](ClusterAggregator::telemetry).
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Registry::new());
+        }
+    }
+
+    /// The accumulated election metrics, if
+    /// [`enable_telemetry`](ClusterAggregator::enable_telemetry) was
+    /// called.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
     }
 
     /// Grow the lane count by one (gateway registration order).
@@ -257,12 +283,16 @@ impl ClusterAggregator {
         }
         let devices = &self.devices;
         let roaming = &self.roaming;
+        let instrumented = self.telemetry.is_some();
         let outcomes = run_cells(self.shards, workers.max(1), |s| {
-            process_shard(&groups[s], devices, roaming, lanes)
+            process_shard(&groups[s], devices, roaming, lanes, instrumented)
         });
 
         let mut deliveries = Vec::new();
         for out in outcomes {
+            if let (Some(total), Some(shard)) = (self.telemetry.as_mut(), out.metrics.as_ref()) {
+                total.merge_from(shard);
+            }
             for (id, state) in out.updates {
                 self.devices.insert(id, state);
             }
@@ -337,6 +367,7 @@ fn process_shard(
     devices: &HashMap<u32, DeviceState>,
     roaming: &RoamingConfig,
     lanes: usize,
+    instrumented: bool,
 ) -> ShardOutcome {
     let mut out = ShardOutcome {
         deliveries: Vec::new(),
@@ -344,6 +375,7 @@ fn process_shard(
         wins: vec![0; lanes],
         suppressions: vec![0; lanes],
         handoffs: 0,
+        metrics: instrumented.then(Registry::new),
     };
     // BTreeMap: devices fold in id order, so `updates` is deterministic.
     let mut by_dev: BTreeMap<u32, Vec<&GatewayReport>> = BTreeMap::new();
@@ -372,6 +404,9 @@ fn process_shard(
                     for r in group {
                         out.suppressions[r.gateway] += 1;
                     }
+                    if let Some(m) = out.metrics.as_mut() {
+                        m.inc("cluster.election.stale_groups", &[], 1);
+                    }
                     continue;
                 }
             }
@@ -392,6 +427,16 @@ fn process_shard(
                 }
             }
             out.wins[win.gateway] += 1;
+            if let Some(m) = out.metrics.as_mut() {
+                m.observe("cluster.election.group_size", &[], group.len() as u64);
+                // RSSI is negative dBm; record path attenuation
+                // (-dBm, rounded) so the histogram stays in u64 space.
+                m.observe(
+                    "cluster.election.win_atten_db",
+                    &[],
+                    (-win.rssi_dbm).max(0.0).round() as u64,
+                );
+            }
 
             let handoff = match state.as_mut() {
                 None => {

@@ -30,6 +30,7 @@ use wile_radio::medium::Medium;
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::{Duration, Instant};
 use wile_sim::ingest::GatewayIngest;
+use wile_telemetry::{LabelValue, Registry};
 
 /// Cluster-wide tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -179,6 +180,64 @@ impl GatewayCluster {
         }
         s
     }
+
+    /// Start recording per-round election metrics (group sizes, win
+    /// RSSI) inside the aggregator; they surface through
+    /// [`record_telemetry`](GatewayCluster::record_telemetry).
+    pub fn enable_telemetry(&mut self) {
+        self.agg.enable_telemetry();
+    }
+
+    /// Dump everything the cluster counted into `reg` as absolute
+    /// values: per-lane queue and election counters (labelled
+    /// `lane=<i>`), each lane's gateway-pipeline counters and link
+    /// health, cluster totals, the conservation-law terms, and — when
+    /// [`enable_telemetry`](GatewayCluster::enable_telemetry) was
+    /// called — the aggregator's election histograms. Counters and
+    /// gauges are set, not added, so repeat calls do not double-count;
+    /// the election histograms merge by addition, so dump them into a
+    /// fresh registry (or call once at end of run).
+    pub fn record_telemetry(&self, reg: &mut Registry) {
+        let s = self.stats();
+        for (i, lane) in s.lanes.iter().enumerate() {
+            let labels = [("lane", LabelValue::from(i))];
+            reg.counter_set("cluster.lane.hears", &labels, lane.hears);
+            reg.counter_set("cluster.lane.queue_drops", &labels, lane.queue_drops);
+            reg.counter_set("cluster.lane.wins", &labels, lane.wins);
+            reg.counter_set("cluster.lane.suppressions", &labels, lane.suppressions);
+            reg.gauge_set(
+                "cluster.lane.queue.high_water",
+                &labels,
+                lane.queue_high_water as i64,
+            );
+            self.lanes[i]
+                .ingest
+                .gateway()
+                .record_telemetry(reg, &labels);
+        }
+        reg.counter_set("cluster.delivered", &[], s.delivered);
+        reg.counter_set("cluster.handoffs", &[], s.handoffs);
+        reg.counter_set("cluster.evicted", &[], s.evicted);
+        reg.gauge_set("cluster.devices_tracked", &[], s.devices_tracked as i64);
+        // The conservation law, as first-class terms: delivered +
+        // suppressions + drops == hears must hold after every poll.
+        reg.counter_set("cluster.conservation.hears", &[], s.total_hears());
+        reg.counter_set("cluster.conservation.drops", &[], s.total_drops());
+        reg.counter_set(
+            "cluster.conservation.suppressions",
+            &[],
+            s.total_suppressions(),
+        );
+        reg.counter_set("cluster.conservation.delivered", &[], s.delivered);
+        reg.counter_set(
+            "cluster.conservation.holds",
+            &[],
+            u64::from(s.conserves_offered_load()),
+        );
+        if let Some(elections) = self.agg.telemetry() {
+            reg.merge_from(elections);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +310,32 @@ mod tests {
         assert_eq!(stats.lanes[0].queue_drops, 5);
         assert_eq!(stats.lanes[0].queue_high_water, 3);
         assert!(stats.conserves_offered_load());
+    }
+
+    #[test]
+    fn record_telemetry_snapshots_and_conserves() {
+        let (mut medium, mut cluster, dev) = world();
+        cluster.enable_telemetry();
+        let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+        inj.inject(&mut medium, dev, b"reading-a");
+        inj.inject(&mut medium, dev, b"reading-b");
+        cluster.poll(&mut medium, None, Instant::from_secs(5), 1);
+        let mut reg = Registry::new();
+        cluster.record_telemetry(&mut reg);
+        let lane0 = [("lane", LabelValue::from(0usize))];
+        assert_eq!(reg.counter("cluster.lane.hears", &lane0), Some(2));
+        assert_eq!(reg.counter("cluster.delivered", &[]), Some(2));
+        assert_eq!(reg.counter("cluster.conservation.holds", &[]), Some(1));
+        // Both messages elected from two-report groups.
+        let h = reg
+            .histogram("cluster.election.group_size", &[])
+            .expect("election histogram recorded");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4);
+        // Absolute semantics: a second dump does not double-count
+        // counters.
+        cluster.record_telemetry(&mut reg);
+        assert_eq!(reg.counter("cluster.delivered", &[]), Some(2));
     }
 
     #[test]

@@ -125,6 +125,8 @@ impl DeviceLink {
 pub struct LinkHealth {
     cfg: LinkHealthConfig,
     links: HashMap<u32, DeviceLink>,
+    /// In-window holes filled by late (reordered) arrivals, table-wide.
+    late_fills: u64,
 }
 
 impl LinkHealth {
@@ -139,7 +141,14 @@ impl LinkHealth {
         LinkHealth {
             cfg,
             links: HashMap::new(),
+            late_fills: 0,
         }
+    }
+
+    /// How many observations were reordered arrivals that filled an
+    /// in-window hole (loss charged, then credited back).
+    pub fn late_fills(&self) -> u64 {
+        self.late_fills
     }
 
     /// Feed one received message header. `at` must be non-decreasing
@@ -186,6 +195,7 @@ impl LinkHealth {
         link.bitmap |= bit;
         link.received += 1;
         link.ewma_success(alpha);
+        self.late_fills += 1;
         Observation::New
     }
 

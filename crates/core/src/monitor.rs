@@ -12,7 +12,7 @@
 
 use crate::beacon::wile_fragments;
 use crate::encode::decode_fragments;
-use crate::linkhealth::{LinkHealth, LinkHealthConfig};
+use crate::linkhealth::{LinkHealth, LinkHealthConfig, Observation};
 use crate::registry::Registry;
 use crate::security::decrypt_message;
 use std::collections::HashSet;
@@ -20,6 +20,7 @@ use wile_dot11::fcs;
 use wile_dot11::mgmt::Beacon;
 use wile_radio::medium::{Medium, RadioId};
 use wile_radio::time::Instant;
+use wile_telemetry::registry::{Label, Registry as Metrics};
 
 /// One delivered Wi-LE reading.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,9 @@ pub struct GatewayStats {
     pub reassembly_failures: u64,
     /// Messages delivered.
     pub delivered: u64,
+    /// Copies the link-health window rejected as stale replays (only
+    /// counted when link health is enabled).
+    pub stale_replays: u64,
 }
 
 impl Received {
@@ -152,7 +156,9 @@ impl Gateway {
             // the last-seen clock and are classified by its own
             // replay window), independent of dedup below.
             if let Some(h) = self.health.as_mut() {
-                h.observe(msg.device_id, msg.seq, rx.at);
+                if h.observe(msg.device_id, msg.seq, rx.at) == Observation::Stale {
+                    self.stats.stale_replays += 1;
+                }
             }
             if !self.seen.insert((msg.device_id, msg.seq)) {
                 self.stats.duplicates += 1;
@@ -217,6 +223,43 @@ impl Gateway {
     /// numbers wrap at 65536 so a full clear per epoch is correct).
     pub fn clear_dedup(&mut self) {
         self.seen.clear();
+    }
+
+    /// Publish this gateway's counters (and, when link health is
+    /// enabled, its table) into a telemetry registry under `labels`
+    /// (typically `lane=<n>`). Counters use absolute `set` semantics;
+    /// per-device EWMA loss lands in the `gateway.health.loss_pm`
+    /// histogram quantized to per-mille, iterated in sorted device
+    /// order so the snapshot is deterministic.
+    pub fn record_telemetry(&self, reg: &mut Metrics, labels: &[Label]) {
+        let s = self.stats;
+        reg.counter_set("gateway.frames_seen", labels, s.frames_seen);
+        reg.counter_set("gateway.bad_fcs", labels, s.bad_fcs);
+        reg.counter_set("gateway.foreign_beacons", labels, s.foreign_beacons);
+        reg.counter_set("gateway.duplicates", labels, s.duplicates);
+        reg.counter_set("gateway.reassembly_failures", labels, s.reassembly_failures);
+        reg.counter_set("gateway.delivered", labels, s.delivered);
+        reg.counter_set("gateway.stale_replays", labels, s.stale_replays);
+        if let Some(h) = &self.health {
+            reg.counter_set("gateway.health.late_fills", labels, h.late_fills());
+            let mut received = 0u64;
+            let mut expected = 0u64;
+            for dev in h.devices() {
+                if let Some(loss) = h.loss_estimate(dev) {
+                    reg.observe(
+                        "gateway.health.loss_pm",
+                        labels,
+                        (loss * 1000.0).round() as u64,
+                    );
+                }
+                if let Some((rx, exp)) = h.counters(dev) {
+                    received += rx;
+                    expected += exp;
+                }
+            }
+            reg.counter_set("gateway.health.received", labels, received);
+            reg.counter_set("gateway.health.expected", labels, expected);
+        }
     }
 }
 

@@ -1,8 +1,12 @@
-//! Exporting traces for plotting: CSV, gnuplot-ready `.dat`, and a
-//! terminal ASCII renderer good enough to eyeball Figure 3 in a shell.
+//! Exporting traces for plotting: CSV, gnuplot-ready `.dat`, JSON
+//! (through the workspace-wide [`wile_telemetry::Json`] helper, so the
+//! Fig-3/Fig-4 artifacts and the telemetry reports share one
+//! serializer), and a terminal ASCII renderer good enough to eyeball
+//! Figure 3 in a shell.
 
 use crate::multimeter::CurrentTrace;
 use std::fmt::Write as _;
+use wile_telemetry::Json;
 
 /// Render a trace as CSV with `time_s,current_ma` columns.
 pub fn to_csv(trace: &CurrentTrace) -> String {
@@ -22,6 +26,43 @@ pub fn series_to_dat(name: &str, points: &[(f64, f64)]) -> String {
         let _ = writeln!(out, "{x:.6} {y:.9}");
     }
     out
+}
+
+/// Render a current trace as a schema-versioned JSON document
+/// (`wile.current-trace` v1) through the shared [`Json`] helper — the
+/// machine-readable sibling of [`to_csv`] for the Fig-3 artifacts.
+pub fn to_json(trace: &CurrentTrace) -> Json {
+    Json::obj()
+        .field("schema", Json::str("wile.current-trace"))
+        .field("version", Json::int(1))
+        .field("start_ns", Json::int(trace.start.as_nanos()))
+        .field(
+            "sample_interval_ns",
+            Json::int(trace.sample_interval.as_nanos()),
+        )
+        .field(
+            "samples_ma",
+            Json::Arr(trace.samples_ma.iter().map(|&ma| Json::Num(ma)).collect()),
+        )
+}
+
+/// Render an `(x, y)` series as a schema-versioned JSON document
+/// (`wile.series` v1) — the machine-readable sibling of
+/// [`series_to_dat`] for the Fig-4 curves.
+pub fn series_to_json(name: &str, points: &[(f64, f64)]) -> Json {
+    Json::obj()
+        .field("schema", Json::str("wile.series"))
+        .field("version", Json::int(1))
+        .field("name", Json::str(name))
+        .field(
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|&(x, y)| Json::Arr(vec![Json::Num(x), Json::Num(y)]))
+                    .collect(),
+            ),
+        )
 }
 
 /// ASCII-render a current trace: `width` columns, `height` rows, linear
@@ -97,6 +138,36 @@ mod tests {
         let dat = series_to_dat("WiLE", &[(0.5, 1e-3), (1.0, 2e-3)]);
         assert!(dat.starts_with("# WiLE\n"));
         assert_eq!(dat.lines().count(), 4);
+    }
+
+    #[test]
+    fn trace_json_round_trips() {
+        let doc = to_json(&ramp_trace());
+        let text = doc.render();
+        let back = wile_telemetry::json::parse(&text).expect("own output parses");
+        assert_eq!(back, doc);
+        assert_eq!(
+            back.get("schema").unwrap().as_str(),
+            Some("wile.current-trace")
+        );
+        assert_eq!(
+            back.get("sample_interval_ns").unwrap().as_f64(),
+            Some(1_000_000.0)
+        );
+        let samples = back.get("samples_ma").unwrap().as_arr().unwrap();
+        assert_eq!(samples.len(), 100);
+        assert_eq!(samples[99].as_f64(), Some(99.0));
+    }
+
+    #[test]
+    fn series_json_round_trips() {
+        let doc = series_to_json("WiLE", &[(0.5, 1e-3), (1.0, 2e-3)]);
+        let text = doc.render();
+        let back = wile_telemetry::json::parse(&text).expect("own output parses");
+        assert_eq!(back, doc);
+        let points = back.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].as_arr().unwrap()[1].as_f64(), Some(2e-3));
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod naive;
 pub mod pcap;
 pub mod per;
 pub mod plan;
+pub mod stats;
 pub mod time;
 
 pub use channel::ChannelModel;
@@ -50,4 +51,5 @@ pub use gilbert::{ChannelState, GilbertElliott};
 pub use medium::{Medium, RadioConfig, RadioId, RxFrame};
 pub use naive::NaiveMedium;
 pub use plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
+pub use stats::MediumStats;
 pub use time::{Duration, Instant};

@@ -39,6 +39,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use crate::channel::ChannelModel;
 use crate::per::packet_error_rate;
+use crate::stats::{MediumCounters, MediumStats};
 use crate::time::{Duration, Instant};
 
 /// Identifies one attached radio.
@@ -168,6 +169,8 @@ pub struct Medium {
     last_start: Instant,
     /// Total frames ever transmitted (for stats).
     tx_count: u64,
+    /// Observational tallies (see [`Medium::stats`]).
+    counters: MediumCounters,
 }
 
 impl Medium {
@@ -187,6 +190,7 @@ impl Medium {
             bounded: false,
             last_start: Instant::ZERO,
             tx_count: 0,
+            counters: MediumCounters::default(),
         }
     }
 
@@ -211,6 +215,12 @@ impl Medium {
     /// Total transmissions offered to the medium so far.
     pub fn tx_count(&self) -> u64 {
         self.tx_count
+    }
+
+    /// Snapshot of the medium's observational counters: delivery and
+    /// loss breakdown, link-cache effectiveness, retained-log depth.
+    pub fn stats(&self) -> MediumStats {
+        self.counters.snapshot(self.tx_count)
     }
 
     /// Bound the medium's memory: retire transmissions once every
@@ -286,6 +296,7 @@ impl Medium {
             bytes,
         });
         self.tx_count += 1;
+        self.counters.high_water(self.txs.len() as u64);
         end
     }
 
@@ -471,9 +482,11 @@ impl Medium {
         let bits = tx.params.power_dbm.to_bits();
         if let Some(&(power, value)) = self.cache.borrow().slots.get(&key) {
             if power == bits {
+                MediumCounters::bump(&self.counters.cache_hits);
                 return value;
             }
         }
+        MediumCounters::bump(&self.counters.cache_misses);
         let a = self.radios[tx.from.0 as usize].position_m;
         let b = self.radios[listener.0 as usize].position_m;
         let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
@@ -517,6 +530,7 @@ impl Medium {
         let tx = self.tx(tx_abs);
         let rssi = self.rx_power(tx, listener);
         if rssi < cfg.sensitivity_dbm {
+            MediumCounters::bump(&self.counters.culled_sensitivity);
             return None;
         }
         // Collision check: any other transmission overlapping in time on
@@ -540,14 +554,17 @@ impl Medium {
             }
             let interferer = self.rx_power(other, listener);
             if interferer >= cfg.sensitivity_dbm && rssi < interferer + CAPTURE_MARGIN_DB {
+                MediumCounters::bump(&self.counters.collision_losses);
                 return None;
             }
         }
         let snr = rssi - self.model.effective_noise_dbm();
         let per = packet_error_rate(snr, tx.params.min_snr_db, tx.bytes.len());
         if self.loss_roll(tx_abs, listener) < per {
+            MediumCounters::bump(&self.counters.per_losses);
             return None;
         }
+        MediumCounters::bump(&self.counters.delivered);
         Some(RxFrame {
             at: tx.end,
             from: tx.from,

@@ -46,6 +46,7 @@ use wile_radio::medium::{RadioConfig, RadioId, TxParams};
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::{Duration, Instant};
 use wile_sim::{Actor, ActorId, Ctx, GatewayIngest, Kernel};
+use wile_telemetry::Telemetry;
 
 /// Campaign events. `Msg`/`Copy` address a [`DevActor`],
 /// `Poll`/`ServeWindow` the [`GwActor`], `FinishFeedback` comes back to
@@ -127,9 +128,15 @@ impl Actor<CampaignEv> for DevActor {
     fn on_event(&mut self, now: Instant, ev: CampaignEv, ctx: &mut Ctx<'_, CampaignEv>) {
         match ev {
             CampaignEv::Msg => {
+                // One `dev.cycle` span per wake-to-wake interval:
+                // close the previous cycle (if any) and open the next.
+                // Durations are sim-time, so the `span_ns{span=...}`
+                // histogram is deterministic.
+                let _ = ctx.span_exit();
                 if now > self.end {
                     return;
                 }
+                ctx.span_enter("dev.cycle");
                 let tl = ctx
                     .faults
                     .as_deref_mut()
@@ -329,14 +336,22 @@ impl Actor<CampaignEv> for GwActor {
     }
 }
 
-/// Run one campaign on the actor kernel.
-pub(crate) fn run_campaign_kernel(cfg: &CampaignConfig) -> CampaignReport {
+/// Run one campaign on the actor kernel, folding its telemetry into
+/// `tel` (a disabled collector records nothing and costs one branch
+/// per call site — the report is bit-identical either way, which
+/// `tests/telemetry_diff.rs` asserts).
+pub(crate) fn run_campaign_kernel(cfg: &CampaignConfig, tel: &mut Telemetry) -> CampaignReport {
     let (latency, _cycle) = check_config(cfg);
 
     // Kernel::new matches the reference's medium setup exactly:
     // default channel model, the config seed, bounded mode on.
     let mut kernel: Kernel<CampaignEv> = Kernel::new(Default::default(), cfg.seed);
     kernel.set_faults(FaultTimeline::new(cfg.plan.clone()));
+    if tel.enabled() {
+        let mut kt = Telemetry::new();
+        kt.set_trace_enabled(tel.trace().enabled());
+        kernel.set_telemetry(kt);
+    }
 
     // Attach order fixes RadioId assignment: gateway first, then
     // devices in index order — identical to the reference.
@@ -398,6 +413,14 @@ pub(crate) fn run_campaign_kernel(cfg: &CampaignConfig) -> CampaignReport {
         evicted,
         ..
     } = kernel.remove_actor::<GwActor>(gw_id);
+    if tel.enabled() {
+        kernel.flush_telemetry();
+        let reg = kernel.telemetry_mut().registry_mut();
+        ingest.gateway().record_telemetry(reg, &[]);
+        reg.counter_set("campaign.delivered", &[], delivered.len() as u64);
+        reg.counter_set("campaign.evicted", &[], evicted.len() as u64);
+        tel.merge_from(kernel.telemetry());
+    }
     let mut devs = Vec::with_capacity(cfg.devices);
     for (i, &id) in dev_ids.iter().enumerate() {
         let mut dev = kernel.remove_actor::<DevActor>(id).dev;

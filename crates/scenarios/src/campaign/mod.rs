@@ -398,7 +398,19 @@ pub(crate) fn check_config(cfg: &CampaignConfig) -> (Duration, Duration) {
 
 /// Run one campaign on the `wile-sim` actor kernel.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
-    actors::run_campaign_kernel(cfg)
+    let mut tel = wile_telemetry::Telemetry::off();
+    actors::run_campaign_kernel(cfg, &mut tel)
+}
+
+/// Run one campaign with full telemetry: metrics (kernel dispatch,
+/// medium, gateway pipeline, link health, `dev.cycle` spans) plus the
+/// structured event trace, ready for
+/// [`wile_telemetry::RunTrace::to_jsonl`]. The report is bit-identical
+/// to [`run_campaign`]'s — telemetry observes, never steers.
+pub fn run_campaign_telemetry(cfg: &CampaignConfig) -> (CampaignReport, wile_telemetry::Telemetry) {
+    let mut tel = wile_telemetry::Telemetry::with_trace();
+    let report = actors::run_campaign_kernel(cfg, &mut tel);
+    (report, tel)
 }
 
 /// The largest copy count the configured mode can reach (for the

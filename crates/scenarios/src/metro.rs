@@ -37,6 +37,7 @@ use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
 use wile_radio::time::{Duration, Instant};
 use wile_sim::ingest::GatewayIngest;
 use wile_sim::kernel::{Actor, ActorId, Ctx, Kernel};
+use wile_telemetry::Telemetry;
 
 /// Metro deployment configuration.
 #[derive(Debug, Clone)]
@@ -321,8 +322,18 @@ impl Actor<MetroEv> for ClusterSink {
         let got = self
             .cluster
             .poll(ctx.medium, ctx.faults.as_deref_mut(), now, self.workers);
+        // RunLog is disabled at metro scale, but the telemetry trace
+        // (when a collector is installed) still records the poll train.
+        ctx.emit("poll_delivered", got.len() as u64);
         for d in &got {
             fold_delivery(&mut self.digest, d);
+            // Path attenuation (-dBm, rounded) of every delivered
+            // message; single-branch no-op while telemetry is off.
+            ctx.telemetry.observe(
+                "metro.delivery.atten_db",
+                &[],
+                (-d.rssi_dbm).max(0.0).round() as u64,
+            );
         }
         if self.keep {
             self.deliveries.extend(got);
@@ -455,7 +466,31 @@ fn beacons_sent(kernel: &mut Kernel<MetroEv>, device_ids: &[ActorId]) -> u64 {
 /// aggregation threads. The result — deliveries, digest, every counter
 /// — is byte-identical at any `workers` setting.
 pub fn run_metro(cfg: &MetroConfig, workers: usize) -> MetroReport {
+    // Telemetry off: every recording call degrades to one branch, and
+    // `tests/telemetry_diff.rs` proves the report is byte-identical to
+    // the instrumented run's.
+    let mut tel = Telemetry::off();
+    run_metro_with_telemetry(cfg, workers, &mut tel)
+}
+
+/// [`run_metro`], additionally folding the run's telemetry into `tel`:
+/// kernel dispatch and medium counters, per-lane cluster and gateway
+/// pipeline counters, link health, election histograms (merged in
+/// shard order), and the delivery-attenuation histogram. When `tel` is
+/// disabled this records nothing and is exactly [`run_metro`]; the
+/// [`MetroReport`] itself never carries telemetry, so the two arms are
+/// comparable with `==`.
+pub fn run_metro_with_telemetry(
+    cfg: &MetroConfig,
+    workers: usize,
+    tel: &mut Telemetry,
+) -> MetroReport {
     let (mut kernel, gw_radios, mut registry, device_ids) = build_world(cfg);
+    if tel.enabled() {
+        let mut kt = Telemetry::new();
+        kt.set_trace_enabled(tel.trace().enabled());
+        kernel.set_telemetry(kt);
+    }
 
     let mut cluster = GatewayCluster::new(ClusterConfig {
         queue_capacity: cfg.queue_capacity,
@@ -463,6 +498,9 @@ pub fn run_metro(cfg: &MetroConfig, workers: usize) -> MetroReport {
         shards: 8,
         stale_after: cfg.stale_after,
     });
+    if tel.enabled() {
+        cluster.enable_telemetry();
+    }
     for radio in gw_radios {
         cluster.add_gateway(GatewayIngest::new(radio, Gateway::new()));
     }
@@ -489,6 +527,15 @@ pub fn run_metro(cfg: &MetroConfig, workers: usize) -> MetroReport {
         stats.conserves_offered_load(),
         "delivered + suppressions + drops must equal hears: {stats:?}"
     );
+    if tel.enabled() {
+        kernel.flush_telemetry();
+        let reg = kernel.telemetry_mut().registry_mut();
+        sink.cluster.record_telemetry(reg);
+        reg.counter_set("metro.beacons_sent", &[], beacons);
+        reg.counter_set("metro.evicted", &[], sink.evicted.len() as u64);
+        reg.gauge_set("metro.peak_live_tx", &[], sink.peak_live_tx as i64);
+        tel.merge_from(kernel.telemetry());
+    }
     // Mirror cluster evictions into the provisioning registry.
     for id in &sink.evicted {
         registry.remove(*id);

@@ -21,6 +21,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use wile_telemetry::{prof_count, prof_enabled, prof_record, ProfScope};
+
 /// Number of workers to use by default: the `WILE_WORKERS` environment
 /// variable when set, otherwise the machine's available parallelism
 /// (1 if that cannot be determined).
@@ -51,22 +53,52 @@ where
 {
     let workers = workers.min(n);
     if workers <= 1 {
+        let _scope = ProfScope::new("engine.serial");
+        prof_count("engine.cells", n as u64);
         return (0..n).map(cell).collect();
     }
+    // Per-worker cell counts and finish skew are wall-clock facts, so
+    // they go to the nondeterministic prof section (WILE_PROF=1 only)
+    // and never near the deterministic snapshot.
+    let profiling = prof_enabled();
+    let _scope = ProfScope::new("engine.parallel");
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let finishes: Mutex<Vec<std::time::Instant>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut processed = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = cell(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(out);
+                    processed += 1;
                 }
-                let out = cell(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                if profiling {
+                    prof_count("engine.cells", processed);
+                    finishes
+                        .lock()
+                        .expect("prof state poisoned")
+                        .push(std::time::Instant::now());
+                }
             });
         }
     });
+    if profiling {
+        // Merge wait: how long the first-finished worker idled before
+        // the slowest one released the scope barrier.
+        let finishes = finishes.lock().expect("prof state poisoned");
+        if let (Some(first), Some(last)) = (finishes.iter().min(), finishes.iter().max()) {
+            prof_record(
+                "engine.merge_wait",
+                last.duration_since(*first).as_nanos() as u64,
+            );
+        }
+    }
     slots
         .into_iter()
         .map(|slot| {

@@ -33,6 +33,7 @@ use wile_radio::medium::Medium;
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::{Duration, Instant};
 use wile_radio::EventQueue;
+use wile_telemetry::Telemetry;
 
 /// Handle to an actor registered with a [`Kernel`]; stable for the
 /// kernel's lifetime.
@@ -88,7 +89,8 @@ struct Envelope<E> {
 }
 
 /// What an actor can reach while handling an event: the shared medium,
-/// the fault timeline, scheduling, the air lease, and the run log.
+/// the fault timeline, scheduling, the air lease, the run log, and the
+/// telemetry collector.
 pub struct Ctx<'a, E> {
     now: Instant,
     self_id: ActorId,
@@ -99,6 +101,10 @@ pub struct Ctx<'a, E> {
     /// public field (not an accessor) so it can be borrowed alongside
     /// [`Ctx::medium`] in one expression.
     pub faults: Option<&'a mut FaultTimeline>,
+    /// The kernel's telemetry collector (disabled by default, in which
+    /// case every recording call is a single-branch no-op). Public for
+    /// the same borrow-splitting reason as [`Ctx::medium`].
+    pub telemetry: &'a mut Telemetry,
     queue: &'a mut EventQueue<Envelope<E>>,
     log: &'a mut RunLog,
     air_lease: &'a mut Instant,
@@ -143,6 +149,10 @@ impl<E> Ctx<'_, E> {
     }
 
     /// Record a structured [`RunLogEntry`] attributed to this actor.
+    ///
+    /// Emits are dual-homed: the entry lands in the [`RunLog`] (the
+    /// original compat surface) and, when the kernel's telemetry trace
+    /// is enabled, as an `emit` event in the structured run trace.
     pub fn emit(&mut self, event: &'static str, value: u64) {
         self.log.push(RunLogEntry {
             at: self.now,
@@ -150,6 +160,22 @@ impl<E> Ctx<'_, E> {
             event,
             value,
         });
+        self.telemetry
+            .trace_emit(self.now, self.self_id.0 as u32, event, value);
+    }
+
+    /// Open a sim-time telemetry span on this actor (no-op when
+    /// telemetry is disabled). Spans nest per actor.
+    pub fn span_enter(&mut self, name: &'static str) {
+        self.telemetry
+            .span_enter(self.now, self.self_id.0 as u32, name);
+    }
+
+    /// Close this actor's innermost telemetry span, recording its
+    /// sim-time duration into the `span_ns{span=<name>}` histogram.
+    /// Tolerated no-op (returns `None`) when no span is open.
+    pub fn span_exit(&mut self) -> Option<(&'static str, u64)> {
+        self.telemetry.span_exit(self.now, self.self_id.0 as u32)
     }
 
     /// Claim the air until `until`: actors that run synchronous
@@ -160,6 +186,7 @@ impl<E> Ctx<'_, E> {
     pub fn reserve_air(&mut self, until: Instant) {
         if until > *self.air_lease {
             *self.air_lease = until;
+            self.telemetry.inc("kernel.air_lease.extends", &[], 1);
         }
     }
 
@@ -179,6 +206,12 @@ pub struct Kernel<E> {
     log: RunLog,
     actors: Vec<Option<Box<dyn ActorObj<E>>>>,
     air_lease: Instant,
+    telemetry: Telemetry,
+    /// Events dispatched over the kernel's lifetime (tallied always —
+    /// one add per step — and published at flush).
+    events_dispatched: u64,
+    /// Deepest the event queue has ever been.
+    queue_high_water: usize,
 }
 
 impl<E: 'static> Kernel<E> {
@@ -202,6 +235,9 @@ impl<E: 'static> Kernel<E> {
             log: RunLog::new(),
             actors: Vec::new(),
             air_lease: Instant::ZERO,
+            telemetry: Telemetry::off(),
+            events_dispatched: 0,
+            queue_high_water: 0,
         }
     }
 
@@ -241,6 +277,52 @@ impl<E: 'static> Kernel<E> {
     /// massive fleet before the run).
     pub fn log_mut(&mut self) -> &mut RunLog {
         &mut self.log
+    }
+
+    /// The telemetry collector (disabled unless a driver installed an
+    /// enabled one).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable access to the telemetry collector.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Install a telemetry collector (typically [`Telemetry::new`] or
+    /// [`Telemetry::with_trace`]) before the run.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Publish the kernel's and medium's internal tallies into the
+    /// telemetry registry. Call once, after the run; counters use
+    /// absolute `set` semantics so a second flush overwrites rather
+    /// than double-counts. No-op while telemetry is disabled.
+    pub fn flush_telemetry(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let ms = self.medium.stats();
+        let reg = self.telemetry.registry_mut();
+        reg.counter_set("kernel.events_dispatched", &[], self.events_dispatched);
+        reg.gauge_set("kernel.queue.high_water", &[], self.queue_high_water as i64);
+        reg.counter_set("kernel.log.entries", &[], self.log.len() as u64);
+        reg.counter_set("kernel.log.dropped", &[], self.log.dropped());
+        reg.counter_set("medium.tx_attempts", &[], ms.tx_attempts);
+        reg.counter_set("medium.culled_sensitivity", &[], ms.culled_sensitivity);
+        reg.counter_set("medium.collision_losses", &[], ms.collision_losses);
+        reg.counter_set("medium.per_losses", &[], ms.per_losses);
+        reg.counter_set("medium.delivered", &[], ms.delivered);
+        reg.counter_set("medium.cache.hits", &[], ms.cache_hits);
+        reg.counter_set("medium.cache.misses", &[], ms.cache_misses);
+        reg.gauge_set(
+            "medium.retained.high_water",
+            &[],
+            ms.retained_high_water as i64,
+        );
+        reg.counter_set("medium.retired", &[], self.medium.retired_tx_count());
     }
 
     /// Register an actor; its [`ActorId`] is its registration ordinal.
@@ -309,6 +391,7 @@ impl<E: 'static> Kernel<E> {
         let Some((at, env)) = self.queue.pop() else {
             return false;
         };
+        self.events_dispatched += 1;
         let Some(mut actor) = self.actors[env.dst.0].take() else {
             return true;
         };
@@ -317,12 +400,16 @@ impl<E: 'static> Kernel<E> {
             self_id: env.dst,
             medium: &mut self.medium,
             faults: self.faults.as_mut(),
+            telemetry: &mut self.telemetry,
             queue: &mut self.queue,
             log: &mut self.log,
             air_lease: &mut self.air_lease,
         };
         actor.obj_on_event(at, env.ev, &mut ctx);
         self.actors[env.dst.0] = Some(actor);
+        if self.queue.len() > self.queue_high_water {
+            self.queue_high_water = self.queue.len();
+        }
         true
     }
 
@@ -507,7 +594,47 @@ mod tests {
         k.schedule(Instant::from_ms(1), a, 9);
         k.run();
         assert_eq!(k.log().len(), 1);
-        assert_eq!(k.log().entries()[0].actor, a);
-        assert_eq!(k.log().entries()[0].value, 9);
+        assert_eq!(k.log().get(0).unwrap().actor, a);
+        assert_eq!(k.log().get(0).unwrap().value, 9);
+    }
+
+    #[test]
+    fn kernel_telemetry_counts_dispatch_and_traces_emits() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        k.set_telemetry(Telemetry::with_trace());
+        let a = k.add_actor(Counter {
+            peer: None,
+            seen: Vec::new(),
+        });
+        let b = k.add_actor(Counter {
+            peer: Some(a),
+            seen: Vec::new(),
+        });
+        k.actor_mut::<Counter>(a).peer = Some(b);
+        k.schedule(Instant::from_secs(1), a, 4);
+        k.run();
+        k.flush_telemetry();
+        let reg = k.telemetry().registry();
+        assert_eq!(reg.counter("kernel.events_dispatched", &[]), Some(5));
+        assert_eq!(reg.gauge("kernel.queue.high_water", &[]).unwrap().last(), 1);
+        // Each dispatch emitted one "tick"; trace mirrors the run log.
+        assert_eq!(k.telemetry().trace().len(), k.log().len());
+        assert_eq!(k.telemetry().trace().events()[0].name, "tick");
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_no_registry_state() {
+        let mut k: Kernel<u32> = Kernel::new(ChannelModel::default(), 1);
+        let a = k.add_actor(Counter {
+            peer: None,
+            seen: Vec::new(),
+        });
+        k.schedule(Instant::from_ms(1), a, 2);
+        k.run();
+        k.flush_telemetry();
+        assert!(k.telemetry().registry().is_empty());
+        assert!(k.telemetry().trace().is_empty());
+        // The run log still works as before (compat shim).
+        assert_eq!(k.log().len(), 1);
     }
 }

@@ -6,6 +6,13 @@
 //! `Vec`s scattered across driver loops. Entries are appended strictly
 //! in dispatch order, so for a fixed seed the log is byte-identical
 //! across runs — it doubles as a cheap determinism witness.
+//!
+//! Since the telemetry layer landed, `RunLog` is the thin compat shim
+//! for that role: `Ctx::emit` also feeds `wile-telemetry`'s event trace
+//! (when enabled), which carries the same tuples with a schema-versioned
+//! JSONL export. Existing drivers and tests keep reading the log.
+
+use std::collections::VecDeque;
 
 use crate::kernel::ActorId;
 use wile_radio::time::Instant;
@@ -23,20 +30,54 @@ pub struct RunLogEntry {
     pub value: u64,
 }
 
-/// An append-only, dispatch-ordered record of a kernel run.
+/// A dispatch-ordered record of a kernel run.
+///
+/// Unbounded by default (append-only). [`RunLog::with_capacity_bound`]
+/// turns it into a ring buffer that keeps only the newest `n` entries
+/// and counts what it sheds — the mode `mega_fleet`-scale runs use so
+/// a billion emits cannot hold a billion entries.
 #[derive(Debug, Clone, Default)]
 pub struct RunLog {
-    entries: Vec<RunLogEntry>,
+    entries: VecDeque<RunLogEntry>,
     enabled: bool,
+    /// Maximum retained entries (`None` = unbounded).
+    bound: Option<usize>,
+    /// Entries shed by the ring buffer (never counts disabled pushes).
+    dropped: u64,
 }
 
 impl RunLog {
-    /// An empty, enabled log.
+    /// An empty, enabled, unbounded log.
     pub fn new() -> Self {
         RunLog {
-            entries: Vec::new(),
+            entries: VecDeque::new(),
             enabled: true,
+            bound: None,
+            dropped: 0,
         }
+    }
+
+    /// An empty, enabled log that retains at most `n` entries: once
+    /// full, each push evicts the oldest entry and bumps
+    /// [`RunLog::dropped`]. `n == 0` records nothing (every push is
+    /// counted as dropped).
+    pub fn with_capacity_bound(n: usize) -> Self {
+        RunLog {
+            entries: VecDeque::with_capacity(n.min(1 << 20)),
+            enabled: true,
+            bound: Some(n),
+            dropped: 0,
+        }
+    }
+
+    /// The retention bound, if one is set.
+    pub fn capacity_bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Entries evicted by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Turn recording on or off. Massive fleets disable the log so a
@@ -50,34 +91,51 @@ impl RunLog {
         self.enabled
     }
 
-    /// Append an entry (no-op while disabled).
+    /// Append an entry (no-op while disabled; evicts the oldest entry
+    /// when a capacity bound is set and reached).
     pub fn push(&mut self, entry: RunLogEntry) {
-        if self.enabled {
-            self.entries.push(entry);
+        if !self.enabled {
+            return;
         }
+        if let Some(bound) = self.bound {
+            if bound == 0 {
+                self.dropped += 1;
+                return;
+            }
+            if self.entries.len() == bound {
+                self.entries.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.entries.push_back(entry);
     }
 
-    /// All recorded entries, in dispatch order.
-    pub fn entries(&self) -> &[RunLogEntry] {
-        &self.entries
+    /// Iterate retained entries in dispatch order (oldest first).
+    pub fn entries(&self) -> impl Iterator<Item = &RunLogEntry> + '_ {
+        self.entries.iter()
     }
 
-    /// Number of recorded entries.
+    /// The `i`-th retained entry (0 = oldest retained).
+    pub fn get(&self, i: usize) -> Option<&RunLogEntry> {
+        self.entries.get(i)
+    }
+
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Drop all recorded entries.
+    /// Drop all retained entries (the dropped counter is kept).
     pub fn clear(&mut self) {
         self.entries.clear();
     }
 
-    /// Deterministic text rendering, one line per entry.
+    /// Deterministic text rendering, one line per retained entry.
     pub fn render(&self) -> String {
         let mut s = String::new();
         for e in &self.entries {
@@ -97,6 +155,15 @@ impl RunLog {
 mod tests {
     use super::*;
 
+    fn entry(ms: u64, value: u64) -> RunLogEntry {
+        RunLogEntry {
+            at: Instant::from_ms(ms),
+            actor: ActorId(0),
+            event: "tick",
+            value,
+        }
+    }
+
     #[test]
     fn records_in_order_and_renders() {
         let mut log = RunLog::new();
@@ -113,7 +180,7 @@ mod tests {
             value: 7,
         });
         assert_eq!(log.len(), 2);
-        assert_eq!(log.entries()[0].event, "tx");
+        assert_eq!(log.get(0).unwrap().event, "tx");
         let text = log.render();
         assert!(text.contains("actor0 tx 7"));
         assert!(text.contains("actor1 rx 7"));
@@ -123,12 +190,68 @@ mod tests {
     fn disabled_log_records_nothing() {
         let mut log = RunLog::new();
         log.set_enabled(false);
-        log.push(RunLogEntry {
-            at: Instant::ZERO,
-            actor: ActorId(0),
-            event: "tx",
-            value: 0,
-        });
+        log.push(entry(0, 0));
         assert!(log.is_empty());
+        // Disabled pushes are not "dropped" — nothing was shed by a ring.
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn unbounded_by_default() {
+        let mut log = RunLog::new();
+        assert_eq!(log.capacity_bound(), None);
+        for i in 0..10_000 {
+            log.push(entry(i, i));
+        }
+        assert_eq!(log.len(), 10_000);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts() {
+        let mut log = RunLog::with_capacity_bound(3);
+        assert_eq!(log.capacity_bound(), Some(3));
+        for i in 0..5u64 {
+            log.push(entry(i, i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        // Oldest two were shed; retained suffix stays in order.
+        let values: Vec<u64> = log.entries().map(|e| e.value).collect();
+        assert_eq!(values, [2, 3, 4]);
+        let text = log.render();
+        assert!(!text.contains("tick 0"));
+        assert!(text.contains("tick 4"));
+    }
+
+    #[test]
+    fn ring_buffer_exact_fill_drops_nothing() {
+        let mut log = RunLog::with_capacity_bound(4);
+        for i in 0..4u64 {
+            log.push(entry(i, i));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_bound_counts_every_push() {
+        let mut log = RunLog::with_capacity_bound(0);
+        for i in 0..7u64 {
+            log.push(entry(i, i));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 7);
+    }
+
+    #[test]
+    fn disabled_bounded_log_drops_nothing() {
+        let mut log = RunLog::with_capacity_bound(2);
+        log.set_enabled(false);
+        for i in 0..5u64 {
+            log.push(entry(i, i));
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
     }
 }

@@ -1,0 +1,90 @@
+//! Property tests for the deterministic histogram: its snapshot must
+//! be a pure function of the observed *multiset* — insertion order
+//! must never show, and merging partial histograms must equal
+//! observing everything into one. These are exactly the properties the
+//! worker-count differential test leans on (per-shard registries merge
+//! in shard order, but each shard's content varies with scheduling of
+//! nothing — only the partition).
+
+use proptest::prelude::*;
+use wile_telemetry::Histogram;
+
+fn observed(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Deterministic in-place shuffle (splitmix64-driven Fisher–Yates) so
+/// the permutation is derived from a proptest-provided seed.
+fn shuffle(values: &mut [u64], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..values.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        values.swap(i, j);
+    }
+}
+
+proptest! {
+    /// Bucket counts, sum, count, min, and max are invariant under any
+    /// permutation of the inserts.
+    #[test]
+    fn snapshot_is_permutation_invariant(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let base = observed(&values);
+        let mut shuffled = values.clone();
+        shuffle(&mut shuffled, seed);
+        let permuted = observed(&shuffled);
+        prop_assert_eq!(base.buckets(), permuted.buckets());
+        prop_assert_eq!(base.count(), permuted.count());
+        prop_assert_eq!(base.sum(), permuted.sum());
+        prop_assert_eq!(base.min(), permuted.min());
+        prop_assert_eq!(base.max(), permuted.max());
+    }
+
+    /// merge(observe(a), observe(b)) == observe(a ++ b), for any split.
+    #[test]
+    fn merge_equals_insert_all(
+        a in proptest::collection::vec(any::<u64>(), 0..150),
+        b in proptest::collection::vec(any::<u64>(), 0..150),
+    ) {
+        let mut merged = observed(&a);
+        merged.merge(&observed(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let whole = observed(&all);
+        prop_assert_eq!(merged.buckets(), whole.buckets());
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+    }
+
+    /// Every observation lands in the bucket whose range covers it, the
+    /// total bucket population equals the count, and the sum is exact
+    /// (u128: no rounding, no overflow at u64 values).
+    #[test]
+    fn buckets_cover_and_account_for_everything(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = observed(&values);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+        prop_assert_eq!(h.min(), values.iter().copied().min());
+        prop_assert_eq!(h.max(), values.iter().copied().max());
+        for &v in &values {
+            let (lo, hi) = Histogram::bucket_range(Histogram::bucket_of(v));
+            prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -15,7 +15,9 @@
 
 use wile::reliability::{AdaptiveConfig, EnergyBudget, RepeatPolicy};
 use wile_radio::time::Duration;
-use wile_scenarios::campaign::{run_with_baseline, AdaptMode, CampaignConfig};
+use wile_scenarios::campaign::{
+    run_campaign_telemetry, run_with_baseline, AdaptMode, CampaignConfig,
+};
 
 fn main() {
     let mode = AdaptMode::Feedback {
@@ -50,5 +52,17 @@ fn main() {
     println!(
         "energy: {:.1} µJ/msg adaptive (ceiling 800) vs {:.1} µJ/msg static",
         adaptive.energy_uj_per_message, baseline.energy_uj_per_message,
+    );
+
+    // Re-run the adaptive arm with full telemetry (identical report —
+    // observation never steers) and show the deterministic snapshot.
+    let (observed, tel) = run_campaign_telemetry(&cfg);
+    assert_eq!(observed, adaptive, "telemetry must not steer the run");
+    let tel_report = tel.report();
+    println!("\n{}", tel_report.render_with_prof());
+    println!(
+        "telemetry digest    {:#018x}   trace events {}",
+        tel_report.digest(),
+        tel.trace().len()
     );
 }

@@ -15,7 +15,8 @@
 
 use std::time::Instant as WallInstant;
 use wile_scenarios::engine::available_workers;
-use wile_scenarios::metro::{run_metro, MetroConfig};
+use wile_scenarios::metro::{run_metro_with_telemetry, MetroConfig};
+use wile_telemetry::Telemetry;
 
 /// Peak resident set size in MiB, if the platform exposes it.
 fn peak_rss_mib() -> Option<f64> {
@@ -40,7 +41,8 @@ fn main() {
     );
 
     let t0 = WallInstant::now();
-    let report = run_metro(&cfg, workers);
+    let mut tel = Telemetry::new();
+    let report = run_metro_with_telemetry(&cfg, workers, &mut tel);
     let wall = t0.elapsed();
 
     let stats = &report.stats;
@@ -94,4 +96,11 @@ fn main() {
         Some(mib) => println!("peak RSS            {:>12.1} MiB", mib),
         None => println!("peak RSS            {:>12}", "(unavailable)"),
     }
+
+    // The deterministic telemetry snapshot (byte-identical at any
+    // WILE_WORKERS); wall-clock profiling rows appear under a separate
+    // nondeterministic banner when WILE_PROF=1.
+    let tel_report = tel.report();
+    println!("\n{}", tel_report.render_with_prof());
+    println!("telemetry digest    {:#018x}", tel_report.digest());
 }

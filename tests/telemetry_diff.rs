@@ -1,0 +1,121 @@
+//! The telemetry differential guarantee, end to end:
+//!
+//! 1. **Observation changes nothing.** Running the metro scenario (and
+//!    a fault campaign) with telemetry enabled produces a report that
+//!    is `==` (bit-identical — [`MetroReport`] derives `PartialEq`
+//!    over every counter, delivery, and digest) to the
+//!    telemetry-disabled run.
+//! 2. **Snapshots are worker-count independent.** The rendered
+//!    [`TelemetryReport`] — and therefore its FNV digest — is
+//!    byte-identical at 1, 4, and 8 aggregation workers, across seeds,
+//!    because per-shard registries merge in shard order and every
+//!    instrument is integer-valued (order-free addition).
+
+use wile::reliability::{AdaptiveConfig, EnergyBudget, RepeatPolicy};
+use wile_radio::time::Duration;
+use wile_scenarios::campaign::{run_campaign, run_campaign_telemetry, AdaptMode, CampaignConfig};
+use wile_scenarios::metro::{run_metro, run_metro_with_telemetry, MetroConfig};
+use wile_telemetry::Telemetry;
+
+const SEEDS: [u64; 3] = [42, 7, 9];
+
+fn feedback_mode() -> AdaptMode {
+    AdaptMode::Feedback {
+        cfg: AdaptiveConfig {
+            target_delivery: 0.9,
+            base: RepeatPolicy::SINGLE,
+            budget: EnergyBudget {
+                per_message_uj_ceiling: 800.0,
+                per_copy_uj: 100.0,
+            },
+            backoff_step: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(8),
+        },
+        every: 2,
+    }
+}
+
+#[test]
+fn metro_report_is_identical_with_and_without_telemetry() {
+    for seed in SEEDS {
+        let cfg = MetroConfig::smoke(seed);
+        let plain = run_metro(&cfg, 2);
+        let mut tel = Telemetry::with_trace();
+        let observed = run_metro_with_telemetry(&cfg, 2, &mut tel);
+        assert_eq!(plain, observed, "seed {seed}: telemetry steered the run");
+        // And the instrumented run actually recorded the world it saw.
+        let reg = tel.registry();
+        assert_eq!(
+            reg.counter("metro.beacons_sent", &[]),
+            Some(observed.beacons_sent),
+            "seed {seed}"
+        );
+        assert_eq!(
+            reg.counter("cluster.delivered", &[]),
+            Some(observed.stats.delivered),
+            "seed {seed}"
+        );
+        assert_eq!(reg.counter("cluster.conservation.holds", &[]), Some(1));
+        assert!(
+            reg.counter("kernel.events_dispatched", &[]).unwrap() > 0,
+            "seed {seed}"
+        );
+        assert!(!tel.trace().is_empty(), "seed {seed}: trace not recorded");
+    }
+}
+
+#[test]
+fn metro_telemetry_digest_is_worker_count_independent() {
+    for seed in SEEDS {
+        let cfg = MetroConfig::smoke(seed);
+        let run = |workers: usize| {
+            let mut tel = Telemetry::new();
+            let report = run_metro_with_telemetry(&cfg, workers, &mut tel);
+            (report, tel.report())
+        };
+        let (base_report, base_tel) = run(1);
+        for workers in [4, 8] {
+            let (report, tel) = run(workers);
+            assert_eq!(report, base_report, "seed {seed} workers {workers}");
+            assert_eq!(
+                tel.render(),
+                base_tel.render(),
+                "seed {seed} workers {workers}: snapshot text diverged"
+            );
+            assert_eq!(
+                tel.digest(),
+                base_tel.digest(),
+                "seed {seed} workers {workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn campaign_report_is_identical_with_and_without_telemetry() {
+    let cfg = CampaignConfig::demo(42, feedback_mode());
+    let plain = run_campaign(&cfg);
+    let (observed, tel) = run_campaign_telemetry(&cfg);
+    assert_eq!(plain, observed, "telemetry steered the campaign");
+    // dev.cycle spans closed into the span histogram, sim-time stamped.
+    let spans = tel
+        .registry()
+        .histogram("span_ns", &[("span", "dev.cycle".into())])
+        .expect("dev.cycle spans recorded");
+    assert!(spans.count() > 0);
+    // The JSONL trace starts with the schema-versioned header.
+    let jsonl = tel.trace().to_jsonl();
+    let header = jsonl.lines().next().unwrap();
+    assert!(header.contains("\"schema\":\"wile.run-trace\""), "{header}");
+    assert_eq!(jsonl.lines().count(), tel.trace().len() + 1);
+}
+
+#[test]
+fn campaign_telemetry_is_reproducible() {
+    let cfg = CampaignConfig::demo(7, feedback_mode());
+    let (r1, t1) = run_campaign_telemetry(&cfg);
+    let (r2, t2) = run_campaign_telemetry(&cfg);
+    assert_eq!(r1, r2);
+    assert_eq!(t1.report().render(), t2.report().render());
+    assert_eq!(t1.trace().to_jsonl(), t2.trace().to_jsonl());
+}
