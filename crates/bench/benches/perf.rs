@@ -22,10 +22,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wile::reliability::{AdaptiveConfig, EnergyBudget, RepeatPolicy};
+use wile_cluster::{split_unified, ClusterDisturbance, PartitionPolicy, UnifiedPhase};
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::naive::NaiveMedium;
 use wile_radio::time::{Duration, Instant};
 use wile_scenarios::campaign::{run_campaign_telemetry, run_campaigns, AdaptMode, CampaignConfig};
+use wile_scenarios::chaos::{run_chaos, ChaosConfig};
 use wile_scenarios::fig3;
 use wile_scenarios::metro::{run_metro, run_metro_with_telemetry, MetroConfig};
 use wile_telemetry::{Json, Telemetry};
@@ -396,5 +398,162 @@ fn bench_telemetry(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_perf, bench_cluster, bench_telemetry);
+/// A fault campaign scaled to the 60 s `cluster_cell` world, for fast
+/// mode: a checkpoint-covered crash and an overload window.
+fn chaos_cell(gateways: usize, devices: usize) -> ChaosConfig {
+    let mut metro = cluster_cell(gateways, devices);
+    let (air, infra) = split_unified(
+        vec![
+            UnifiedPhase::infra(
+                Instant::from_secs(10),
+                Instant::from_secs(30),
+                ClusterDisturbance::LaneCrash { lane: 0 },
+                "crash",
+            ),
+            UnifiedPhase::infra(
+                Instant::from_secs(35),
+                Instant::from_secs(50),
+                ClusterDisturbance::AggregatorOverload {
+                    admit_per_round: devices / 2,
+                },
+                "overload",
+            ),
+        ],
+        42,
+    );
+    metro.faults = Some(air);
+    ChaosConfig {
+        metro,
+        infra,
+        checkpoint_every: Some(Duration::from_secs(20)),
+        partition: PartitionPolicy::default(),
+    }
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 3 };
+    let workers = wile_scenarios::engine::available_workers();
+    // Full mode prices the fault layer on the E11/E13 metro
+    // configuration; fast mode shrinks the world for the CI smoke run.
+    let metro_cfg = if fast {
+        cluster_cell(4, 500)
+    } else {
+        MetroConfig::metro(42)
+    };
+
+    wile_bench::banner("chaos overhead (metro, fault layer unarmed vs armed)");
+    // Differential witness before timing: the unarmed fault layer
+    // changes nothing — the whole report, digest included.
+    let plain = run_metro(&metro_cfg, workers);
+    let unarmed = run_chaos(&ChaosConfig::no_faults(metro_cfg.clone()), workers);
+    assert_eq!(
+        plain, unarmed.metro,
+        "empty-plan chaos diverged from plain metro"
+    );
+
+    let metro_s = median_s(reps, || run_metro(&metro_cfg, workers).delivery_digest);
+    let unarmed_s = median_s(reps, || {
+        run_chaos(&ChaosConfig::no_faults(metro_cfg.clone()), workers)
+            .metro
+            .delivery_digest
+    });
+    let overhead_pct = (unarmed_s / metro_s - 1.0) * 100.0;
+    println!(
+        "plain {metro_s:.3} s, chaos(empty plan) {unarmed_s:.3} s \
+         ({overhead_pct:+.2}% overhead, target < 5%)"
+    );
+
+    // And the armed point: what a full fault campaign costs.
+    let chaos_cfg = if fast {
+        chaos_cell(4, 500)
+    } else {
+        ChaosConfig::metro(42)
+    };
+    let probe = run_chaos(&chaos_cfg, workers);
+    assert!(probe.metro.stats.conserves_offered_load());
+    assert_eq!(probe.duplicate_deliveries, 0);
+    let armed_s = median_s(reps, || {
+        run_chaos(&chaos_cfg, workers).metro.delivery_digest
+    });
+    println!(
+        "chaos(armed) {armed_s:.3} s: {} delivered, {} shed, {} lost in crash, \
+         {} recoveries",
+        probe.metro.stats.delivered,
+        probe.metro.stats.total_shed(),
+        probe.metro.stats.total_lost_in_crash(),
+        probe.recoveries.len(),
+    );
+
+    // Criterion-visible pair on a small cell.
+    let small = cluster_cell(2, if fast { 100 } else { 200 });
+    let mut g = c.benchmark_group("chaos");
+    g.sample_size(10);
+    g.bench_function("metro_plain", |b| {
+        b.iter(|| black_box(run_metro(&small, workers).delivery_digest))
+    });
+    g.bench_function("metro_chaos_empty_plan", |b| {
+        b.iter(|| {
+            black_box(
+                run_chaos(&ChaosConfig::no_faults(small.clone()), workers)
+                    .metro
+                    .delivery_digest,
+            )
+        })
+    });
+    g.finish();
+
+    let json = Json::obj()
+        .field("pr", Json::int(6))
+        .field("fast_mode", Json::Bool(fast))
+        .field("workers", Json::int(workers as u64))
+        .field(
+            "note",
+            Json::str(
+                "infrastructure-chaos overhead on the metro scenario: identical runs through \
+                 run_metro vs run_chaos with an empty fault plan (byte-identity asserted before \
+                 timing), plus the armed point under the full E13 campaign",
+            ),
+        )
+        .field(
+            "overhead",
+            Json::obj()
+                .field("gateways", Json::int(metro_cfg.gateways as u64))
+                .field("devices", Json::int(metro_cfg.devices as u64))
+                .field("metro_wall_s", Json::Num((metro_s * 1e4).round() / 1e4))
+                .field(
+                    "chaos_empty_wall_s",
+                    Json::Num((unarmed_s * 1e4).round() / 1e4),
+                )
+                .field(
+                    "overhead_pct",
+                    Json::Num((overhead_pct * 100.0).round() / 100.0),
+                )
+                .field("target_pct", Json::Num(5.0)),
+        )
+        .field(
+            "armed",
+            Json::obj()
+                .field("wall_s", Json::Num((armed_s * 1e4).round() / 1e4))
+                .field("delivered", Json::int(probe.metro.stats.delivered))
+                .field("shed", Json::int(probe.metro.stats.total_shed()))
+                .field(
+                    "lost_in_crash",
+                    Json::int(probe.metro.stats.total_lost_in_crash()),
+                )
+                .field("checkpoints", Json::int(probe.metro.stats.checkpoints))
+                .field("recoveries", Json::int(probe.recoveries.len() as u64)),
+        );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_6.json");
+    println!("\nwrote {path}");
+}
+
+criterion_group!(
+    benches,
+    bench_perf,
+    bench_cluster,
+    bench_telemetry,
+    bench_chaos
+);
 criterion_main!(benches);

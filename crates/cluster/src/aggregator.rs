@@ -85,6 +85,21 @@ pub struct LaneStats {
     pub wins: u64,
     /// Reports dequeued but suppressed as cross-gateway duplicates.
     pub suppressions: u64,
+    /// Reports shed by fault machinery with accounting: backhaul
+    /// buffer overflow, retry exhaustion during a partition, or
+    /// aggregator admission control under overload.
+    pub shed: u64,
+    /// Reports destroyed in this lane's queue or backhaul buffer when
+    /// its process crashed.
+    pub lost_in_crash: u64,
+    /// Crash windows this lane has entered.
+    pub crashes: u64,
+    /// Restarts (crash windows exited; ≤ `crashes` mid-window).
+    pub restarts: u64,
+    /// Reports currently parked in the lane's partition backhaul
+    /// buffer — in flight, neither delivered nor lost yet. Zero
+    /// whenever no partition is active.
+    pub backhaul_buffered: usize,
 }
 
 /// A structured snapshot of everything the cluster counted.
@@ -100,6 +115,11 @@ pub struct ClusterStats {
     pub evicted: u64,
     /// Devices currently tracked (heard at least once, not evicted).
     pub devices_tracked: usize,
+    /// Orphaned devices re-adopted by a delivery election after their
+    /// owning lane crashed.
+    pub recovered: u64,
+    /// Checkpoints the cluster has taken across all lanes.
+    pub checkpoints: u64,
 }
 
 impl ClusterStats {
@@ -118,6 +138,21 @@ impl ClusterStats {
         self.lanes.iter().map(|l| l.suppressions).sum()
     }
 
+    /// Total reports shed by fault machinery (partitions + overload).
+    pub fn total_shed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.shed).sum()
+    }
+
+    /// Total reports destroyed in lane crashes.
+    pub fn total_lost_in_crash(&self) -> u64 {
+        self.lanes.iter().map(|l| l.lost_in_crash).sum()
+    }
+
+    /// Total reports currently parked in partition backhaul buffers.
+    pub fn total_buffered(&self) -> u64 {
+        self.lanes.iter().map(|l| l.backhaul_buffered as u64).sum()
+    }
+
     /// Deepest any lane queue has ever been.
     pub fn max_queue_high_water(&self) -> usize {
         self.lanes
@@ -127,11 +162,21 @@ impl ClusterStats {
             .unwrap_or(0)
     }
 
-    /// The conservation law the whole subsystem is audited against:
-    /// every offered report is delivered, suppressed, or dropped —
-    /// nothing vanishes, nothing is double-counted.
+    /// The extended conservation law the whole subsystem is audited
+    /// against: every offered report is delivered, suppressed, dropped
+    /// at a queue, shed by fault machinery, destroyed in a crash, or
+    /// still parked in a partition backhaul buffer — nothing vanishes,
+    /// nothing is double-counted. With no fault layer (or an empty
+    /// plan) every fault term is zero and this degenerates to PR 5's
+    /// `delivered + suppressions + queue_drops == hears`.
     pub fn conserves_offered_load(&self) -> bool {
-        self.delivered + self.total_suppressions() + self.total_drops() == self.total_hears()
+        self.delivered
+            + self.total_suppressions()
+            + self.total_drops()
+            + self.total_shed()
+            + self.total_lost_in_crash()
+            + self.total_buffered()
+            == self.total_hears()
     }
 }
 
@@ -147,6 +192,10 @@ struct DeviceState {
     owner_since: Instant,
     /// Last time any gateway heard the device (delivered or not).
     last_heard: Instant,
+    /// The owning lane crashed since the last delivery: ownership is
+    /// provisional and the next delivery election re-elects it
+    /// unconditionally (dwell and hysteresis waived).
+    orphaned: bool,
 }
 
 /// What one shard computed from its slice of a round, merged back in
@@ -157,6 +206,7 @@ struct ShardOutcome {
     wins: Vec<u64>,
     suppressions: Vec<u64>,
     handoffs: u64,
+    recoveries: u64,
     /// Per-shard telemetry (election group sizes, win RSSI), built only
     /// when the aggregator has telemetry enabled. Shards never share a
     /// registry; the owner merges these back **in shard order**, so the
@@ -183,6 +233,7 @@ pub struct ClusterAggregator {
     delivered: u64,
     handoffs: u64,
     evicted: u64,
+    recovered: u64,
     /// When present, rounds record election-shape metrics here (merged
     /// from per-shard registries in shard order).
     telemetry: Option<Registry>,
@@ -202,6 +253,7 @@ impl ClusterAggregator {
             delivered: 0,
             handoffs: 0,
             evicted: 0,
+            recovered: 0,
             telemetry: None,
         }
     }
@@ -254,6 +306,33 @@ impl ClusterAggregator {
         self.evicted
     }
 
+    /// Orphaned devices re-adopted by a delivery election so far.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Mark every device owned by `lane` as orphaned: its owner's
+    /// process died, so the next delivery election re-elects ownership
+    /// with dwell and hysteresis waived (the recovery path). Dedup
+    /// state is untouched — the aggregator never crashes in this model,
+    /// which is what keeps cluster-wide at-most-once intact across lane
+    /// crashes. Returns the orphaned ids, **sorted** (feeds digests and
+    /// reports; same determinism contract as
+    /// [`evict_stale`](ClusterAggregator::evict_stale)).
+    pub fn orphan_lane(&mut self, lane: usize) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .devices
+            .iter_mut()
+            .filter(|(_, d)| d.owner == lane)
+            .map(|(&id, d)| {
+                d.orphaned = true;
+                id
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Devices currently tracked.
     pub fn devices_tracked(&self) -> usize {
         self.devices.len()
@@ -301,6 +380,7 @@ impl ClusterAggregator {
                 self.suppressions[lane] += out.suppressions[lane];
             }
             self.handoffs += out.handoffs;
+            self.recovered += out.recoveries;
             self.delivered += out.deliveries.len() as u64;
             deliveries.extend(out.deliveries);
         }
@@ -345,17 +425,17 @@ impl ClusterAggregator {
         ClusterStats {
             lanes: (0..self.lanes())
                 .map(|i| LaneStats {
-                    hears: 0,
-                    queue_drops: 0,
-                    queue_high_water: 0,
                     wins: self.wins[i],
                     suppressions: self.suppressions[i],
+                    ..Default::default()
                 })
                 .collect(),
             delivered: self.delivered,
             handoffs: self.handoffs,
             evicted: self.evicted,
             devices_tracked: self.devices.len(),
+            recovered: self.recovered,
+            checkpoints: 0,
         }
     }
 }
@@ -375,6 +455,7 @@ fn process_shard(
         wins: vec![0; lanes],
         suppressions: vec![0; lanes],
         handoffs: 0,
+        recoveries: 0,
         metrics: instrumented.then(Registry::new),
     };
     // BTreeMap: devices fold in id order, so `updates` is deterministic.
@@ -445,12 +526,27 @@ fn process_shard(
                         owner: win.gateway,
                         owner_since: at,
                         last_heard: at,
+                        orphaned: false,
                     });
                     false
                 }
                 Some(s) => {
                     s.seen.insert(seq);
-                    if win.gateway == s.owner {
+                    if s.orphaned {
+                        // Recovery: the owner's process died since the
+                        // last delivery. Re-elect unconditionally —
+                        // dwell and hysteresis protect a live
+                        // incumbent, and this one is (or was) dead.
+                        s.orphaned = false;
+                        out.recoveries += 1;
+                        let moved = win.gateway != s.owner;
+                        s.owner = win.gateway;
+                        s.owner_since = at;
+                        if moved {
+                            out.handoffs += 1;
+                        }
+                        moved
+                    } else if win.gateway == s.owner {
                         false
                     } else {
                         let incumbent_rssi = group
@@ -627,6 +723,33 @@ mod tests {
         a.round(vec![rep(1, 7, 1, 1_000, -89.0, 1)], 1);
         assert_eq!(a.owner_of(7), Some(1));
         assert_eq!(a.handoffs(), 1);
+    }
+
+    #[test]
+    fn orphaned_devices_reelect_immediately_and_sorted() {
+        let mut a = agg(2);
+        a.round(vec![rep(0, 9, 0, 0, -60.0, 0)], 1);
+        a.round(vec![rep(0, 4, 0, 10, -60.0, 1)], 1);
+        a.round(vec![rep(1, 7, 0, 20, -60.0, 2)], 1);
+        // Lane 0 crashes: its devices orphan, returned sorted.
+        assert_eq!(a.orphan_lane(0), vec![4, 9]);
+        // 1 s later — far inside dwell, 1 dB inside hysteresis — a
+        // challenger still takes the orphan instantly.
+        let got = a.round(vec![rep(1, 9, 1, 1_000, -61.0, 3)], 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(a.owner_of(9), Some(1));
+        assert_eq!(a.recovered(), 1);
+        assert_eq!(a.handoffs(), 1);
+        // The restarted owner itself can also re-adopt: no handoff,
+        // still a recovery.
+        let got = a.round(vec![rep(0, 4, 1, 2_000, -61.0, 4)], 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(a.owner_of(4), Some(0));
+        assert_eq!(a.recovered(), 2);
+        assert_eq!(a.handoffs(), 1);
+        // Dedup survived the crash: the pre-crash seq stays suppressed.
+        let got = a.round(vec![rep(1, 9, 1, 3_000, -50.0, 5)], 1);
+        assert!(got.is_empty(), "aggregator dedup is crash-proof");
     }
 
     #[test]

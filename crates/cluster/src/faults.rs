@@ -1,0 +1,528 @@
+//! Infrastructure fault plans: seeded, deterministic chaos for the
+//! cluster itself.
+//!
+//! PR 1's [`wile_radio::plan::FaultPlan`] makes the *air* hostile; this
+//! module does the same for the *infrastructure* behind the radios. A
+//! [`ClusterFaultPlan`] is an ordered list of [`ClusterFaultPhase`]s,
+//! each activating one [`ClusterDisturbance`] for a `[start, end)`
+//! window:
+//!
+//! * [`ClusterDisturbance::LaneCrash`] — the lane's gateway process
+//!   dies. Frames arriving in the window are consumed but never seen
+//!   (the radio keeps receiving; nothing behind it is alive), the
+//!   lane's queued and partition-buffered reports are destroyed and
+//!   counted as `lost_in_crash`, in-lane ingest state (dedup, link
+//!   health, counters) is wiped, and devices the lane owned are
+//!   orphaned for re-election. At the window's end the lane restarts —
+//!   from its last checkpoint when the cluster checkpoints, cold
+//!   otherwise.
+//! * [`ClusterDisturbance::BackhaulPartition`] — the lane still hears
+//!   and enqueues, but cannot reach the aggregator. Reports buffer in a
+//!   bounded backhaul buffer with a retry budget ([`PartitionPolicy`]);
+//!   overflow and retry exhaustion shed with accounting, and the
+//!   surviving backlog flushes — oldest first — on the poll after the
+//!   partition heals.
+//! * [`ClusterDisturbance::AggregatorOverload`] — admission control at
+//!   the aggregator: each round admits at most `admit_per_round`
+//!   reports (earliest enqueue ordinals first) and sheds the rest,
+//!   charged to their lanes.
+//!
+//! Everything is driven by the one simulated clock the cluster already
+//! polls on, and the plan is pure data — no per-phase randomness is
+//! needed, so byte-identical behaviour across seeds and worker counts
+//! falls out of the cluster's existing determinism contract.
+//!
+//! [`UnifiedPhase`] + [`split_unified`] tie this to the air-side plan:
+//! one timeline can schedule "radio outage" (air) and "process crash"
+//! (infra) phases side by side with one clock and one seed, splitting
+//! into the [`wile_radio::plan::FaultPlan`] the kernel drives and the
+//! [`ClusterFaultPlan`] the cluster drives.
+
+use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan};
+use wile_radio::time::Instant;
+
+/// One kind of infrastructure disturbance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterDisturbance {
+    /// The lane's gateway process is down for the window.
+    LaneCrash {
+        /// Which lane crashes.
+        lane: usize,
+    },
+    /// The lane's backhaul to the aggregator is partitioned for the
+    /// window; reports buffer (bounded) and retry until shed.
+    BackhaulPartition {
+        /// Which lane is cut off.
+        lane: usize,
+    },
+    /// The aggregator is overloaded: admission control caps each
+    /// round's intake for the window.
+    AggregatorOverload {
+        /// Reports admitted per aggregation round; the rest shed.
+        admit_per_round: usize,
+    },
+}
+
+impl ClusterDisturbance {
+    /// Short lowercase tag used in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ClusterDisturbance::LaneCrash { .. } => "crash",
+            ClusterDisturbance::BackhaulPartition { .. } => "partition",
+            ClusterDisturbance::AggregatorOverload { .. } => "overload",
+        }
+    }
+
+    /// The lane a lane-scoped disturbance targets (`None` for
+    /// cluster-wide overload).
+    pub fn lane(&self) -> Option<usize> {
+        match self {
+            ClusterDisturbance::LaneCrash { lane }
+            | ClusterDisturbance::BackhaulPartition { lane } => Some(*lane),
+            ClusterDisturbance::AggregatorOverload { .. } => None,
+        }
+    }
+}
+
+/// One infrastructure disturbance active over `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFaultPhase {
+    /// Phase start (inclusive).
+    pub start: Instant,
+    /// Phase end (exclusive); for a crash, the restart instant.
+    pub end: Instant,
+    /// What fails during the phase.
+    pub disturbance: ClusterDisturbance,
+    /// Human-readable label for reports.
+    pub label: String,
+}
+
+impl ClusterFaultPhase {
+    /// A phase spanning `[start, end)`.
+    pub fn new(
+        start: Instant,
+        end: Instant,
+        disturbance: ClusterDisturbance,
+        label: impl Into<String>,
+    ) -> Self {
+        ClusterFaultPhase {
+            start,
+            end,
+            disturbance,
+            label: label.into(),
+        }
+    }
+
+    /// Whether `at` falls inside the phase.
+    pub fn contains(&self, at: Instant) -> bool {
+        at >= self.start && at < self.end
+    }
+}
+
+/// How a partitioned lane buffers and gives up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionPolicy {
+    /// Most reports the lane's backhaul buffer may hold; overflow is
+    /// shed at the tail (newest first), like the lane queue.
+    pub buffer: usize,
+    /// Failed flush attempts (one per poll while partitioned) a
+    /// buffered report survives before it is shed — the bounded
+    /// retry/backoff budget of a real store-and-forward uplink.
+    pub max_retries: u32,
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> Self {
+        PartitionPolicy {
+            buffer: 8192,
+            max_retries: 8,
+        }
+    }
+}
+
+/// An ordered, validated schedule of infrastructure disturbances.
+///
+/// Validation mirrors [`FaultPlan`]: phases must be well-formed
+/// (`start < end`) and sorted by start. Phases targeting *different*
+/// lanes may overlap — concurrent failures are the interesting regime —
+/// but two lane-scoped phases on the *same* lane must not (a crashed
+/// lane's partition is meaningless), and overload windows must not
+/// overlap each other (the admission cap would be ambiguous).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClusterFaultPlan {
+    phases: Vec<ClusterFaultPhase>,
+}
+
+impl ClusterFaultPlan {
+    /// Build a plan, asserting the invariants above.
+    pub fn new(phases: Vec<ClusterFaultPhase>) -> Self {
+        for (i, p) in phases.iter().enumerate() {
+            assert!(
+                p.start < p.end,
+                "phase {i} ({}) is empty or inverted",
+                p.label
+            );
+            if let ClusterDisturbance::AggregatorOverload { admit_per_round } = p.disturbance {
+                assert!(
+                    admit_per_round > 0,
+                    "phase {i} ({}): a zero admission cap sheds everything; \
+                     model that as a partition of every lane instead",
+                    p.label
+                );
+            }
+        }
+        for w in phases.windows(2) {
+            assert!(
+                w[0].start <= w[1].start,
+                "phases '{}' and '{}' are out of start order",
+                w[0].label,
+                w[1].label
+            );
+        }
+        for (i, a) in phases.iter().enumerate() {
+            for b in &phases[i + 1..] {
+                let same_scope = match (a.disturbance.lane(), b.disturbance.lane()) {
+                    (Some(la), Some(lb)) => la == lb,
+                    (None, None) => true,
+                    _ => false,
+                };
+                if same_scope {
+                    assert!(
+                        a.end <= b.start || b.end <= a.start,
+                        "phases '{}' and '{}' overlap on the same scope",
+                        a.label,
+                        b.label
+                    );
+                }
+            }
+        }
+        ClusterFaultPlan { phases }
+    }
+
+    /// A plan with no phases: the fault layer engaged but idle. The
+    /// differential oracle proves this is byte-identical to running
+    /// without the fault layer at all.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phases, in schedule order.
+    pub fn phases(&self) -> &[ClusterFaultPhase] {
+        &self.phases
+    }
+
+    /// End of the last-ending phase (`Instant::ZERO` for an empty
+    /// plan).
+    pub fn end(&self) -> Instant {
+        self.phases
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(Instant::ZERO)
+    }
+
+    /// Whether `lane`'s process is inside a crash window at `at`.
+    pub fn lane_down(&self, lane: usize, at: Instant) -> bool {
+        self.phases.iter().any(|p| {
+            matches!(p.disturbance, ClusterDisturbance::LaneCrash { lane: l } if l == lane)
+                && p.contains(at)
+        })
+    }
+
+    /// Whether `lane`'s backhaul is partitioned at `at`.
+    pub fn lane_partitioned(&self, lane: usize, at: Instant) -> bool {
+        self.phases.iter().any(|p| {
+            matches!(p.disturbance, ClusterDisturbance::BackhaulPartition { lane: l } if l == lane)
+                && p.contains(at)
+        })
+    }
+
+    /// The admission cap in force at `at`, if an overload window covers
+    /// it.
+    pub fn overload_cap(&self, at: Instant) -> Option<usize> {
+        self.phases.iter().find_map(|p| match p.disturbance {
+            ClusterDisturbance::AggregatorOverload { admit_per_round } if p.contains(at) => {
+                Some(admit_per_round)
+            }
+            _ => None,
+        })
+    }
+
+    /// Crash and restart instants in `(prev, up_to]` (or `[ZERO,
+    /// up_to]` when `prev` is `None` — the first poll), as
+    /// `(instant, lane, kind)` tuples sorted by time with restarts
+    /// ordered before crashes at the same instant (back-to-back crash
+    /// windows hand over cleanly). The cluster poll replays these as
+    /// state transitions between drain segments.
+    pub fn crash_transitions(
+        &self,
+        prev: Option<Instant>,
+        up_to: Instant,
+    ) -> Vec<(Instant, usize, CrashEdge)> {
+        let in_window = |t: Instant| -> bool { t <= up_to && prev.is_none_or(|p| t > p) };
+        let mut out = Vec::new();
+        for p in &self.phases {
+            if let ClusterDisturbance::LaneCrash { lane } = p.disturbance {
+                if in_window(p.start) {
+                    out.push((p.start, lane, CrashEdge::Crash));
+                }
+                if in_window(p.end) {
+                    out.push((p.end, lane, CrashEdge::Restart));
+                }
+            }
+        }
+        out.sort_by_key(|&(at, lane, edge)| (at, edge as u8, lane));
+        out
+    }
+}
+
+/// Which edge of a crash window a transition is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashEdge {
+    /// Window end: the process comes back (ordered first at ties).
+    Restart = 0,
+    /// Window start: the process dies.
+    Crash = 1,
+}
+
+/// A phase on the unified timeline: either an air-side disturbance
+/// (driven by the kernel's [`wile_radio::plan::FaultTimeline`]) or an
+/// infrastructure one (driven by the cluster).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnifiedDisturbance {
+    /// Channel/air fault — jammer, burst loss, radio outage, …
+    Air(Disturbance),
+    /// Infrastructure fault — process crash, partition, overload.
+    Infra(ClusterDisturbance),
+}
+
+/// One phase of a unified air + infrastructure campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnifiedPhase {
+    /// Phase start (inclusive).
+    pub start: Instant,
+    /// Phase end (exclusive).
+    pub end: Instant,
+    /// What happens.
+    pub fault: UnifiedDisturbance,
+    /// Label carried into whichever plan the phase lands in.
+    pub label: String,
+}
+
+impl UnifiedPhase {
+    /// An air-side phase.
+    pub fn air(start: Instant, end: Instant, d: Disturbance, label: impl Into<String>) -> Self {
+        UnifiedPhase {
+            start,
+            end,
+            fault: UnifiedDisturbance::Air(d),
+            label: label.into(),
+        }
+    }
+
+    /// An infrastructure phase.
+    pub fn infra(
+        start: Instant,
+        end: Instant,
+        d: ClusterDisturbance,
+        label: impl Into<String>,
+    ) -> Self {
+        UnifiedPhase {
+            start,
+            end,
+            fault: UnifiedDisturbance::Infra(d),
+            label: label.into(),
+        }
+    }
+}
+
+/// Split one unified timeline into the two plans the stack drives: the
+/// air-side [`FaultPlan`] (seeded — its disturbances carry the
+/// campaign's randomness) and the [`ClusterFaultPlan`] (pure data).
+/// Both inherit the single clock, so "radio outage at minute 10" and
+/// "process crash at minute 10" are expressed — and attributed —
+/// distinctly without a second schedule. Each plan's constructor
+/// enforces its own overlap rules; phases must be sorted by start.
+pub fn split_unified(phases: Vec<UnifiedPhase>, seed: u64) -> (FaultPlan, ClusterFaultPlan) {
+    let mut air = Vec::new();
+    let mut infra = Vec::new();
+    for p in phases {
+        match p.fault {
+            UnifiedDisturbance::Air(d) => air.push(FaultPhase::new(p.start, p.end, d, p.label)),
+            UnifiedDisturbance::Infra(d) => {
+                infra.push(ClusterFaultPhase::new(p.start, p.end, d, p.label))
+            }
+        }
+    }
+    (FaultPlan::new(air, seed), ClusterFaultPlan::new(infra))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wile_radio::time::Duration;
+
+    fn secs(s: u64) -> Instant {
+        Instant::ZERO + Duration::from_secs(s)
+    }
+
+    fn crash(lane: usize, a: u64, b: u64) -> ClusterFaultPhase {
+        ClusterFaultPhase::new(
+            secs(a),
+            secs(b),
+            ClusterDisturbance::LaneCrash { lane },
+            format!("crash-{lane}"),
+        )
+    }
+
+    #[test]
+    fn window_queries_are_half_open() {
+        let plan = ClusterFaultPlan::new(vec![
+            crash(1, 10, 20),
+            ClusterFaultPhase::new(
+                secs(15),
+                secs(30),
+                ClusterDisturbance::BackhaulPartition { lane: 2 },
+                "cut-2",
+            ),
+            ClusterFaultPhase::new(
+                secs(40),
+                secs(50),
+                ClusterDisturbance::AggregatorOverload {
+                    admit_per_round: 100,
+                },
+                "melt",
+            ),
+        ]);
+        assert!(!plan.lane_down(1, secs(9)));
+        assert!(plan.lane_down(1, secs(10)), "start-inclusive");
+        assert!(plan.lane_down(1, secs(19)));
+        assert!(!plan.lane_down(1, secs(20)), "end-exclusive");
+        assert!(!plan.lane_down(2, secs(15)), "wrong lane");
+        assert!(plan.lane_partitioned(2, secs(15)));
+        assert!(!plan.lane_partitioned(1, secs(15)));
+        assert_eq!(plan.overload_cap(secs(45)), Some(100));
+        assert_eq!(plan.overload_cap(secs(39)), None);
+        assert_eq!(plan.end(), secs(50));
+    }
+
+    #[test]
+    fn crash_transitions_cover_half_open_poll_windows() {
+        let plan = ClusterFaultPlan::new(vec![crash(0, 10, 20), crash(1, 20, 25)]);
+        // First poll includes t = 0 edges; none here.
+        assert_eq!(plan.crash_transitions(None, secs(5)), vec![]);
+        // (5, 15]: lane 0 crashes at 10.
+        assert_eq!(
+            plan.crash_transitions(Some(secs(5)), secs(15)),
+            vec![(secs(10), 0, CrashEdge::Crash)]
+        );
+        // (15, 25]: lane 0 restarts and lane 1 crashes at the same
+        // instant — restart first — then lane 1 restarts at 25.
+        assert_eq!(
+            plan.crash_transitions(Some(secs(15)), secs(25)),
+            vec![
+                (secs(20), 0, CrashEdge::Restart),
+                (secs(20), 1, CrashEdge::Crash),
+                (secs(25), 1, CrashEdge::Restart),
+            ]
+        );
+        // Exclusive lower bound: the poll that ended at 15 already
+        // consumed nothing at 15; nothing is replayed twice.
+        assert_eq!(plan.crash_transitions(Some(secs(25)), secs(99)), vec![]);
+    }
+
+    #[test]
+    fn a_crash_window_starting_at_zero_fires_on_the_first_poll() {
+        let plan = ClusterFaultPlan::new(vec![crash(0, 0, 5)]);
+        assert_eq!(
+            plan.crash_transitions(None, secs(10)),
+            vec![
+                (secs(0), 0, CrashEdge::Crash),
+                (secs(5), 0, CrashEdge::Restart)
+            ]
+        );
+    }
+
+    #[test]
+    fn different_lanes_may_overlap_same_lane_may_not() {
+        // Concurrent failures on different lanes: fine.
+        let _ = ClusterFaultPlan::new(vec![crash(0, 10, 30), crash(1, 15, 25)]);
+        // Crash and partition on one lane share its exclusivity.
+        let bad = std::panic::catch_unwind(|| {
+            ClusterFaultPlan::new(vec![
+                crash(0, 10, 30),
+                ClusterFaultPhase::new(
+                    secs(20),
+                    secs(40),
+                    ClusterDisturbance::BackhaulPartition { lane: 0 },
+                    "cut",
+                ),
+            ])
+        });
+        assert!(bad.is_err());
+        let bad_overload = std::panic::catch_unwind(|| {
+            ClusterFaultPlan::new(vec![
+                ClusterFaultPhase::new(
+                    secs(0),
+                    secs(20),
+                    ClusterDisturbance::AggregatorOverload { admit_per_round: 5 },
+                    "a",
+                ),
+                ClusterFaultPhase::new(
+                    secs(10),
+                    secs(30),
+                    ClusterDisturbance::AggregatorOverload { admit_per_round: 9 },
+                    "b",
+                ),
+            ])
+        });
+        assert!(bad_overload.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of start order")]
+    fn unsorted_phases_rejected() {
+        let _ = ClusterFaultPlan::new(vec![crash(0, 20, 30), crash(1, 10, 15)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted")]
+    fn inverted_phase_rejected() {
+        let _ = ClusterFaultPlan::new(vec![crash(0, 20, 20)]);
+    }
+
+    #[test]
+    fn unified_timeline_splits_on_one_clock() {
+        let (airp, infra) = split_unified(
+            vec![
+                UnifiedPhase::air(secs(10), secs(20), Disturbance::GatewayOutage, "radio-out"),
+                UnifiedPhase::infra(
+                    secs(10),
+                    secs(20),
+                    ClusterDisturbance::LaneCrash { lane: 3 },
+                    "proc-crash",
+                ),
+                UnifiedPhase::air(
+                    secs(30),
+                    secs(40),
+                    Disturbance::RandomLoss { p: 0.5 },
+                    "lossy",
+                ),
+            ],
+            42,
+        );
+        // Same instants, distinct mechanisms: the radio outage lives in
+        // the air plan, the process crash in the infra plan.
+        assert_eq!(airp.phases().len(), 2);
+        assert_eq!(airp.phases()[0].label, "radio-out");
+        assert_eq!(airp.seed(), 42);
+        assert_eq!(infra.phases().len(), 1);
+        assert!(infra.lane_down(3, secs(15)));
+        assert_eq!(airp.phases()[0].start, infra.phases()[0].start);
+    }
+}

@@ -22,20 +22,34 @@
 //!   across [`wile_sim::engine::run_cells`]; results are byte-identical
 //!   at any `WILE_WORKERS` setting.
 //!
+//! - **Infrastructure chaos** — a seeded [`ClusterFaultPlan`] schedules
+//!   lane crash/restart windows, backhaul partitions with bounded
+//!   store-and-forward retry, and aggregator overload admission
+//!   control; periodic checkpoints let a restarted lane resume warm,
+//!   and orphaned devices re-elect ownership on the next delivery
+//!   ([`faults`], [`GatewayCluster::set_faults`]).
+//!
 //! Every counter rolls up into [`ClusterStats`], which satisfies the
-//! conservation law `delivered + suppressions + drops == hears` after
-//! every poll.
+//! extended conservation law `delivered + suppressions + drops + shed +
+//! lost_in_crash + buffered == hears` after every poll (all fault terms
+//! zero ⇒ the original law).
 //!
 //! [`GatewayCluster`] is the facade tying it together; the metro
 //! scenario in `wile-scenarios` drives it at 8 gateways × 20 000
-//! devices (experiment E11).
+//! devices (experiment E11), and the chaos-metro scenario replays the
+//! same world through a full fault campaign (experiment E13).
 
 pub mod aggregator;
 pub mod cluster;
+pub mod faults;
 pub mod queue;
 pub mod report;
 
 pub use aggregator::{ClusterAggregator, ClusterStats, LaneStats, RoamingConfig};
-pub use cluster::{ClusterConfig, GatewayCluster};
+pub use cluster::{ClusterConfig, GatewayCluster, LaneEvent, LaneEventRecord};
+pub use faults::{
+    split_unified, ClusterDisturbance, ClusterFaultPhase, ClusterFaultPlan, PartitionPolicy,
+    UnifiedDisturbance, UnifiedPhase,
+};
 pub use queue::ReportQueue;
 pub use report::{ClusterDelivery, GatewayReport};

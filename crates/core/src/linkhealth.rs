@@ -80,7 +80,7 @@ pub enum Observation {
     Stale,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct DeviceLink {
     /// Highest sequence observed.
     max_seq: u16,
@@ -121,7 +121,7 @@ impl DeviceLink {
 }
 
 /// The per-device link-health table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkHealth {
     cfg: LinkHealthConfig,
     links: HashMap<u32, DeviceLink>,
@@ -149,6 +149,12 @@ impl LinkHealth {
     /// in-window hole (loss charged, then credited back).
     pub fn late_fills(&self) -> u64 {
         self.late_fills
+    }
+
+    /// The table's tuning (used to rebuild an empty table with the same
+    /// policy, e.g. on a cold gateway restart).
+    pub fn config(&self) -> LinkHealthConfig {
+        self.cfg
     }
 
     /// Feed one received message header. `at` must be non-decreasing

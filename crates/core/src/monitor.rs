@@ -75,6 +75,22 @@ impl Received {
     }
 }
 
+/// A point-in-time checkpoint of a [`Gateway`]'s mutable state: the
+/// dedup set (held sorted so the snapshot itself is deterministic and
+/// digestable), the counters, and the link-health table. Produced by
+/// [`Gateway::snapshot`] and consumed by [`Gateway::restore`]; the
+/// cluster layer uses it to bring a crashed gateway lane back up from
+/// its last periodic checkpoint instead of cold.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatewaySnapshot {
+    /// The `(device, seq)` dedup set, sorted.
+    pub seen: Vec<(u32, u16)>,
+    /// Counters as of the snapshot.
+    pub stats: GatewayStats,
+    /// The link-health table, if the gateway tracks one.
+    pub health: Option<LinkHealth>,
+}
+
 /// The scanning receiver.
 #[derive(Debug, Default)]
 pub struct Gateway {
@@ -223,6 +239,40 @@ impl Gateway {
     /// numbers wrap at 65536 so a full clear per epoch is correct).
     pub fn clear_dedup(&mut self) {
         self.seen.clear();
+    }
+
+    /// Checkpoint the gateway's mutable state. The dedup set is sorted
+    /// into the snapshot, so two gateways in the same state produce
+    /// equal (and digest-identical) snapshots regardless of hash-set
+    /// iteration order.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        let mut seen: Vec<(u32, u16)> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        GatewaySnapshot {
+            seen,
+            stats: self.stats,
+            health: self.health.clone(),
+        }
+    }
+
+    /// Replace this gateway's state with a checkpoint taken earlier via
+    /// [`Gateway::snapshot`]. A restored gateway continues exactly as
+    /// the snapshotted one would have: same dedup decisions, same
+    /// counters, same link-health estimates.
+    pub fn restore(&mut self, snap: &GatewaySnapshot) {
+        self.seen = snap.seen.iter().copied().collect();
+        self.stats = snap.stats;
+        self.health = snap.health.clone();
+    }
+
+    /// Reset to a cold, just-booted state: dedup set, counters, and
+    /// link-health *contents* are gone, but the link-health *policy*
+    /// (whether a table exists, and its tuning) is preserved — a
+    /// restarted process runs the same binary with the same config.
+    pub fn reset_cold(&mut self) {
+        self.seen.clear();
+        self.stats = GatewayStats::default();
+        self.health = self.health.as_ref().map(|h| LinkHealth::new(h.config()));
     }
 
     /// Publish this gateway's counters (and, when link health is
@@ -484,6 +534,75 @@ mod tests {
         );
         // A plain gateway carries no table.
         assert!(Gateway::new().link_health().is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_stream() {
+        // Feed half a stream, checkpoint, feed the rest down two paths:
+        // the original gateway and a restored-from-snapshot one. Both
+        // must make identical dedup decisions and end in equal state.
+        let (mut medium, sensor, phone) = setup();
+        let mut inj = Injector::new(DeviceIdentity::new(3), Instant::ZERO);
+        for i in 0..6 {
+            inj.sleep_until(Instant::from_secs(1 + i));
+            inj.inject(&mut medium, sensor, format!("r{i}").as_bytes());
+        }
+        let mut gw = Gateway::with_link_health(Default::default());
+        let first = gw.poll(&mut medium, phone, Instant::from_secs(4));
+        assert!(!first.is_empty());
+        let snap = gw.snapshot();
+        // Snapshots are deterministic values: same state, same snapshot.
+        assert_eq!(snap, gw.snapshot());
+
+        let mut restored = Gateway::new();
+        restored.restore(&snap);
+        let tail = medium.take_inbox(phone, Instant::from_secs(60));
+        let a = gw.ingest(tail.clone());
+        let b = restored.ingest(tail);
+        assert_eq!(a, b, "continuation diverged after restore");
+        assert_eq!(gw.stats(), restored.stats());
+        assert_eq!(gw.snapshot(), restored.snapshot());
+    }
+
+    #[test]
+    fn reset_cold_forgets_state_but_keeps_health_policy() {
+        let (mut medium, sensor, phone) = setup();
+        let mut inj = Injector::new(DeviceIdentity::new(9), Instant::ZERO);
+        inj.inject(&mut medium, sensor, b"x");
+        let cfg = LinkHealthConfig {
+            offline_after: Duration::from_secs(7),
+            evict_after: Duration::from_secs(9),
+            ..Default::default()
+        };
+        let mut gw = Gateway::with_link_health(cfg);
+        assert_eq!(gw.poll(&mut medium, phone, Instant::from_secs(2)).len(), 1);
+        gw.reset_cold();
+        assert_eq!(gw.stats(), GatewayStats::default());
+        let h = gw.link_health().expect("health table survives as policy");
+        assert!(h.devices().is_empty(), "contents are gone");
+        assert_eq!(h.config(), cfg, "tuning survives");
+        // A cold gateway happily re-delivers a (device, seq) it saw
+        // before the reset — that is what lost_in_crash accounting and
+        // the cluster-level dedup are for.
+        let msg = Message::new(9, 0, b"x");
+        let frame = crate::beacon::build_wile_beacon(
+            MacAddr::from_device_id(9),
+            &msg,
+            wile_dot11::mac::SeqControl::new(1, 0),
+            0,
+        )
+        .unwrap();
+        medium.transmit(
+            sensor,
+            inj.now() + Duration::from_secs(2),
+            TxParams {
+                airtime: Duration::from_us(50),
+                power_dbm: 0.0,
+                min_snr_db: 5.0,
+            },
+            frame,
+        );
+        assert_eq!(gw.poll(&mut medium, phone, Instant::from_secs(10)).len(), 1);
     }
 
     #[test]

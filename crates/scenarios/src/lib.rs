@@ -34,6 +34,11 @@
 //!   overlapping gateways, cross-gateway dedup with best-RSSI election,
 //!   roaming handoffs, bounded lane queues (experiment E11), with a
 //!   single-gateway reference runner as the differential oracle;
+//! * [`chaos`] — the metro deployment under infrastructure chaos
+//!   (experiment E13): gateway crash/restart with checkpoint-based
+//!   recovery, backhaul partitions with bounded store-and-forward,
+//!   aggregator overload shedding, and air outages on one unified
+//!   timeline, audited for extended conservation and at-most-once;
 //! * [`report`] — paper-style text rendering of all of the above.
 
 #![forbid(unsafe_code)]
@@ -43,6 +48,7 @@ pub mod ablation;
 pub mod assoc;
 pub mod ble;
 pub mod campaign;
+pub mod chaos;
 pub mod engine;
 pub mod fig3;
 pub mod fig4;

@@ -239,7 +239,7 @@ impl MetroReport {
 }
 
 /// Events driving the metro world.
-enum MetroEv {
+pub(crate) enum MetroEv {
     /// A device wakes and transmits one beacon.
     Wake,
     /// The sink (cluster or reference gateway) drains and releases.
@@ -285,7 +285,7 @@ impl Actor<MetroEv> for MetroDevice {
 }
 
 /// Fold one delivery into the FNV-1a digest.
-fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
+pub(crate) fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
     let mut fold = |v: u64| {
         *h ^= v;
         *h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -302,7 +302,7 @@ fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
     }
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// The cluster sink: poll, digest, release, sample memory, repeat.
 struct ClusterSink {
@@ -397,7 +397,9 @@ impl Actor<MetroEv> for ReferenceSink {
 /// in lane order), provisioned registry, device actors with staggered
 /// wakes. Returns the kernel, the gateway radios, the registry, and the
 /// device actor ids.
-fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, Vec<ActorId>) {
+pub(crate) fn build_world(
+    cfg: &MetroConfig,
+) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, Vec<ActorId>) {
     assert!(cfg.gateways >= 1 && cfg.devices >= 1);
     assert!(cfg.gw_cols >= 1);
     let model = ChannelModel {
@@ -455,7 +457,7 @@ fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, V
 }
 
 /// Sum of beacons sent, consuming the device actors.
-fn beacons_sent(kernel: &mut Kernel<MetroEv>, device_ids: &[ActorId]) -> u64 {
+pub(crate) fn beacons_sent(kernel: &mut Kernel<MetroEv>, device_ids: &[ActorId]) -> u64 {
     device_ids
         .iter()
         .map(|&id| kernel.remove_actor::<MetroDevice>(id).sent)
@@ -497,6 +499,7 @@ pub fn run_metro_with_telemetry(
         roaming: RoamingConfig::default(),
         shards: 8,
         stale_after: cfg.stale_after,
+        ..Default::default()
     });
     if tel.enabled() {
         cluster.enable_telemetry();
@@ -585,10 +588,8 @@ pub fn run_metro_reference(cfg: &MetroConfig) -> MetroReport {
     let mut stats = ClusterStats::default();
     stats.lanes.push(wile_cluster::LaneStats {
         hears: sink.hears,
-        queue_drops: 0,
-        queue_high_water: 0,
         wins: sink.hears,
-        suppressions: 0,
+        ..Default::default()
     });
     stats.delivered = sink.hears;
     stats.devices_tracked = sink

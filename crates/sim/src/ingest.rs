@@ -57,11 +57,32 @@ impl GatewayIngest {
     pub fn drain(
         &mut self,
         medium: &mut Medium,
+        faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+    ) -> Vec<Received> {
+        self.drain_when(medium, faults, up_to, |_| true)
+    }
+
+    /// [`drain`](GatewayIngest::drain) with an additional per-frame
+    /// admission predicate, consulted with each frame's arrival instant
+    /// *before* the air-side fault timeline. Frames the predicate
+    /// rejects are consumed from the medium and discarded — exactly
+    /// like an air-side outage, they never reach the pipeline and never
+    /// count as pipeline state. This is the hook the cluster layer uses
+    /// to model a crashed gateway process: its radio keeps receiving,
+    /// but nothing behind it is alive to look.
+    pub fn drain_when(
+        &mut self,
+        medium: &mut Medium,
         mut faults: Option<&mut FaultTimeline>,
         up_to: Instant,
+        mut admit: impl FnMut(Instant) -> bool,
     ) -> Vec<Received> {
         let mut survivors = Vec::new();
         for mut f in medium.take_inbox(self.radio, up_to) {
+            if !admit(f.at) {
+                continue;
+            }
             if let Some(tl) = faults.as_deref_mut() {
                 if tl.gateway_down(f.at) {
                     continue;

@@ -178,6 +178,22 @@ impl<E> Ctx<'_, E> {
         self.telemetry.span_exit(self.now, self.self_id.0 as u32)
     }
 
+    /// Open a sim-time telemetry span attributed to an explicit key
+    /// instead of this actor — the hook for actors that manage several
+    /// sub-entities (e.g. a cluster sink opening a `lane.down` span per
+    /// crashed gateway lane). Keys share the actor-id namespace, so
+    /// pick them from a range no actor id reaches (the cluster sink
+    /// uses `u32::MAX - lane`).
+    pub fn span_enter_for(&mut self, key: u32, name: &'static str) {
+        self.telemetry.span_enter(self.now, key, name);
+    }
+
+    /// Close the innermost span opened under `key` via
+    /// [`Ctx::span_enter_for`]. Tolerated no-op when none is open.
+    pub fn span_exit_for(&mut self, key: u32) -> Option<(&'static str, u64)> {
+        self.telemetry.span_exit(self.now, key)
+    }
+
     /// Claim the air until `until`: actors that run synchronous
     /// multi-transmission exchanges (e.g. a full WiFi association)
     /// publish their occupancy so peers defer past it instead of
