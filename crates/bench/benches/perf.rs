@@ -549,11 +549,108 @@ fn bench_chaos(c: &mut Criterion) {
     println!("\nwrote {path}");
 }
 
+/// PR-6 recorded wall clock for the full E11 metro configuration
+/// (8 gateways × 20,000 devices × 1 simulated hour, `BENCH_6.json`
+/// `metro_wall_s`), the baseline the PR-7 scaling grid is compared
+/// against: beacons/s = 1,199,834 / 10.6362 s.
+const PR6_20K_BEACONS_PER_S: f64 = 1_199_834.0 / 10.6362;
+
+fn bench_scale(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 2 };
+    let workers = wile_scenarios::engine::available_workers();
+    // The devices-scaling grid: the E14 geometry (constant density,
+    // gateways scale with devices, σ=0 so the sensitivity horizon is
+    // tight) from 10⁴ up. The full-mode tail is the E14 million point
+    // itself, run once — it is minutes, not milliseconds.
+    let grid: Vec<usize> = if fast {
+        vec![10_000, 20_000]
+    } else {
+        vec![10_000, 20_000, 50_000, 100_000, 1_000_000]
+    };
+
+    wile_bench::banner("devices-scaling grid (E14 geometry)");
+    let mut rows = Vec::new();
+    // Event throughput at the 20k-device grid point, compared below
+    // against what the PR-6 machinery recorded on its own 20k-device
+    // metro (BENCH_6.json), extrapolated to this geometry.
+    let mut speedup_20k = 0.0;
+    for &devices in &grid {
+        let cfg = MetroConfig::metro_scaled(devices, 42);
+        let cell_reps = if devices >= 100_000 { 1 } else { reps };
+        let probe = run_metro(&cfg, workers);
+        assert!(probe.stats.conserves_offered_load());
+        let beacons = probe.beacons_sent;
+        let hears = probe.stats.total_hears();
+        let cell_s = median_s(cell_reps, || run_metro(&cfg, workers).delivery_digest);
+        let beacons_per_s = beacons as f64 / cell_s;
+        if devices == 20_000 {
+            speedup_20k = beacons_per_s / PR6_20K_BEACONS_PER_S;
+        }
+        println!(
+            "{devices:>9} dev × {:>3} gw: {beacons:>9} beacons, {hears:>8} hears, \
+             {cell_s:>8.3} s ({beacons_per_s:.0} beacons/s)",
+            cfg.gateways
+        );
+        rows.push(
+            Json::obj()
+                .field("devices", Json::int(devices as u64))
+                .field("gateways", Json::int(cfg.gateways as u64))
+                .field("beacons", Json::int(beacons))
+                .field("hears", Json::int(hears))
+                .field("delivered", Json::int(probe.stats.delivered))
+                .field("wall_s", Json::Num((cell_s * 1e4).round() / 1e4))
+                .field("beacons_per_s", Json::Num(beacons_per_s.round())),
+        );
+    }
+    println!(
+        "20k-device point: {speedup_20k:.1}x beacons/s over the extrapolated PR-6 baseline \
+         ({PR6_20K_BEACONS_PER_S:.0} beacons/s)"
+    );
+
+    // Criterion-visible timing for the smallest grid point.
+    let small = MetroConfig::metro_scaled(10_000, 42);
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(10);
+    g.bench_function("metro_scaled_10k", |b| {
+        b.iter(|| black_box(run_metro(&small, workers).delivery_digest))
+    });
+    g.finish();
+
+    let json = Json::obj()
+        .field("pr", Json::int(7))
+        .field("fast_mode", Json::Bool(fast))
+        .field("workers", Json::int(workers as u64))
+        .field(
+            "note",
+            Json::str(
+                "devices-scaling grid on the E14 geometry (constant density, sigma=0, tight \
+                 sensitivity horizon): timer wheel + spatially sharded medium + SoA fleet; \
+                 beacons/s counts wake-transmit events end to end through the kernel, medium \
+                 and cluster; baseline_beacons_per_s is the PR-6 recorded E11 metro throughput \
+                 (1,199,834 beacons / 10.6362 s, BENCH_6.json) extrapolated to the 20k point",
+            ),
+        )
+        .field(
+            "baseline_beacons_per_s",
+            Json::Num(PR6_20K_BEACONS_PER_S.round()),
+        )
+        .field(
+            "speedup_20k_vs_pr6",
+            Json::Num((speedup_20k * 10.0).round() / 10.0),
+        )
+        .field("grid", Json::Arr(rows));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_7.json");
+    println!("\nwrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_perf,
     bench_cluster,
     bench_telemetry,
-    bench_chaos
+    bench_chaos,
+    bench_scale
 );
 criterion_main!(benches);

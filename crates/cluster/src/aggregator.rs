@@ -237,6 +237,9 @@ pub struct ClusterAggregator {
     /// When present, rounds record election-shape metrics here (merged
     /// from per-shard registries in shard order).
     telemetry: Option<Registry>,
+    /// Per-shard bucket scratch, reused across rounds so a
+    /// million-device run does not allocate `shards` vectors per poll.
+    groups: Vec<Vec<GatewayReport>>,
 }
 
 impl ClusterAggregator {
@@ -255,6 +258,7 @@ impl ClusterAggregator {
             evicted: 0,
             recovered: 0,
             telemetry: None,
+            groups: Vec::new(),
         }
     }
 
@@ -349,17 +353,26 @@ impl ClusterAggregator {
     }
 
     /// Run one aggregation round over `batch` with up to `workers`
-    /// threads. Returns the elected deliveries sorted by
+    /// threads, draining `batch` (the caller keeps the allocation for
+    /// the next poll). Returns the elected deliveries sorted by
     /// `(arrival, device, seq)` — byte-identical for any `workers`.
-    pub fn round(&mut self, batch: Vec<GatewayReport>, workers: usize) -> Vec<ClusterDelivery> {
+    pub fn round(
+        &mut self,
+        batch: &mut Vec<GatewayReport>,
+        workers: usize,
+    ) -> Vec<ClusterDelivery> {
         if batch.is_empty() {
             return Vec::new();
         }
         let lanes = self.lanes();
-        let mut groups: Vec<Vec<GatewayReport>> = (0..self.shards).map(|_| Vec::new()).collect();
-        for r in batch {
-            groups[shard_of(r.device_id, self.shards)].push(r);
+        self.groups.resize_with(self.shards, Vec::new);
+        for g in &mut self.groups {
+            g.clear();
         }
+        for r in batch.drain(..) {
+            self.groups[shard_of(r.device_id, self.shards)].push(r);
+        }
+        let groups = &self.groups;
         let devices = &self.devices;
         let roaming = &self.roaming;
         let instrumented = self.telemetry.is_some();
@@ -631,7 +644,7 @@ mod tests {
     fn same_transmission_elects_best_rssi_once() {
         let mut a = agg(3);
         let got = a.round(
-            vec![
+            &mut vec![
                 rep(0, 1, 0, 100, -70.0, 0),
                 rep(1, 1, 0, 100, -55.0, 1),
                 rep(2, 1, 0, 100, -62.0, 2),
@@ -650,11 +663,11 @@ mod tests {
     fn repeat_copies_and_stragglers_are_suppressed() {
         let mut a = agg(2);
         // First copy delivered...
-        let got = a.round(vec![rep(0, 1, 5, 100, -60.0, 0)], 1);
+        let got = a.round(&mut vec![rep(0, 1, 5, 100, -60.0, 0)], 1);
         assert_eq!(got.len(), 1);
         // ...repeat copy in a later round: suppressed on both lanes.
         let got = a.round(
-            vec![rep(0, 1, 5, 650, -58.0, 1), rep(1, 1, 5, 650, -50.0, 2)],
+            &mut vec![rep(0, 1, 5, 650, -58.0, 1), rep(1, 1, 5, 650, -50.0, 2)],
             1,
         );
         assert!(got.is_empty());
@@ -663,7 +676,7 @@ mod tests {
         // Same-round repeat (two transmissions in one batch): the
         // earlier one wins regardless of RSSI, the later suppresses.
         let got = a.round(
-            vec![rep(1, 1, 6, 900, -80.0, 3), rep(0, 1, 6, 1450, -40.0, 4)],
+            &mut vec![rep(1, 1, 6, 900, -80.0, 3), rep(0, 1, 6, 1450, -40.0, 4)],
             1,
         );
         assert_eq!(got.len(), 1);
@@ -675,11 +688,11 @@ mod tests {
     fn hysteresis_blocks_flapping_but_not_clear_wins() {
         let mut a = agg(2);
         // Adopt on lane 0.
-        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
         assert_eq!(a.owner_of(7), Some(0));
         // Lane 1 is 3 dB better — inside the 6 dB hysteresis: no move.
         let got = a.round(
-            vec![
+            &mut vec![
                 rep(0, 7, 1, 20_000, -60.0, 1),
                 rep(1, 7, 1, 20_000, -57.0, 2),
             ],
@@ -690,7 +703,7 @@ mod tests {
         assert!(!got[0].handoff);
         // Lane 1 is 10 dB better and the dwell has elapsed: handoff.
         let got = a.round(
-            vec![
+            &mut vec![
                 rep(0, 7, 2, 40_000, -60.0, 3),
                 rep(1, 7, 2, 40_000, -50.0, 4),
             ],
@@ -704,10 +717,10 @@ mod tests {
     #[test]
     fn min_dwell_delays_strong_challengers() {
         let mut a = agg(2);
-        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
         // 10 dB better but only 5 s after adoption (< 10 s dwell).
         a.round(
-            vec![rep(0, 7, 1, 5_000, -60.0, 1), rep(1, 7, 1, 5_000, -50.0, 2)],
+            &mut vec![rep(0, 7, 1, 5_000, -60.0, 1), rep(1, 7, 1, 5_000, -50.0, 2)],
             1,
         );
         assert_eq!(a.owner_of(7), Some(0), "dwell not yet served");
@@ -717,10 +730,10 @@ mod tests {
     #[test]
     fn deaf_incumbent_loses_immediately() {
         let mut a = agg(2);
-        a.round(vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(0, 7, 0, 0, -60.0, 0)], 1);
         // Owner heard nothing, challenger barely hears it, 1 s in:
         // dwell and hysteresis are waived.
-        a.round(vec![rep(1, 7, 1, 1_000, -89.0, 1)], 1);
+        a.round(&mut vec![rep(1, 7, 1, 1_000, -89.0, 1)], 1);
         assert_eq!(a.owner_of(7), Some(1));
         assert_eq!(a.handoffs(), 1);
     }
@@ -728,52 +741,52 @@ mod tests {
     #[test]
     fn orphaned_devices_reelect_immediately_and_sorted() {
         let mut a = agg(2);
-        a.round(vec![rep(0, 9, 0, 0, -60.0, 0)], 1);
-        a.round(vec![rep(0, 4, 0, 10, -60.0, 1)], 1);
-        a.round(vec![rep(1, 7, 0, 20, -60.0, 2)], 1);
+        a.round(&mut vec![rep(0, 9, 0, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(0, 4, 0, 10, -60.0, 1)], 1);
+        a.round(&mut vec![rep(1, 7, 0, 20, -60.0, 2)], 1);
         // Lane 0 crashes: its devices orphan, returned sorted.
         assert_eq!(a.orphan_lane(0), vec![4, 9]);
         // 1 s later — far inside dwell, 1 dB inside hysteresis — a
         // challenger still takes the orphan instantly.
-        let got = a.round(vec![rep(1, 9, 1, 1_000, -61.0, 3)], 1);
+        let got = a.round(&mut vec![rep(1, 9, 1, 1_000, -61.0, 3)], 1);
         assert_eq!(got.len(), 1);
         assert_eq!(a.owner_of(9), Some(1));
         assert_eq!(a.recovered(), 1);
         assert_eq!(a.handoffs(), 1);
         // The restarted owner itself can also re-adopt: no handoff,
         // still a recovery.
-        let got = a.round(vec![rep(0, 4, 1, 2_000, -61.0, 4)], 1);
+        let got = a.round(&mut vec![rep(0, 4, 1, 2_000, -61.0, 4)], 1);
         assert_eq!(got.len(), 1);
         assert_eq!(a.owner_of(4), Some(0));
         assert_eq!(a.recovered(), 2);
         assert_eq!(a.handoffs(), 1);
         // Dedup survived the crash: the pre-crash seq stays suppressed.
-        let got = a.round(vec![rep(1, 9, 1, 3_000, -50.0, 5)], 1);
+        let got = a.round(&mut vec![rep(1, 9, 1, 3_000, -50.0, 5)], 1);
         assert!(got.is_empty(), "aggregator dedup is crash-proof");
     }
 
     #[test]
     fn eviction_forgets_devices_and_counts() {
         let mut a = agg(1);
-        a.round(vec![rep(0, 1, 0, 0, -60.0, 0)], 1);
-        a.round(vec![rep(0, 2, 0, 50_000, -60.0, 1)], 1);
+        a.round(&mut vec![rep(0, 1, 0, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(0, 2, 0, 50_000, -60.0, 1)], 1);
         assert_eq!(a.devices_tracked(), 2);
         let gone = a.evict_stale(Instant::from_secs(70), Duration::from_secs(30));
         assert_eq!(gone, vec![1]);
         assert_eq!(a.devices_tracked(), 1);
         assert_eq!(a.evicted(), 1);
         // The evicted device re-delivers (fresh dedup state).
-        let got = a.round(vec![rep(0, 1, 0, 80_000, -60.0, 2)], 1);
+        let got = a.round(&mut vec![rep(0, 1, 0, 80_000, -60.0, 2)], 1);
         assert_eq!(got.len(), 1);
     }
 
     #[test]
     fn clear_dedup_keeps_ownership() {
         let mut a = agg(2);
-        a.round(vec![rep(1, 3, 9, 0, -60.0, 0)], 1);
+        a.round(&mut vec![rep(1, 3, 9, 0, -60.0, 0)], 1);
         a.clear_dedup();
         assert_eq!(a.owner_of(3), Some(1));
-        let got = a.round(vec![rep(1, 3, 9, 60_000, -60.0, 1)], 1);
+        let got = a.round(&mut vec![rep(1, 3, 9, 60_000, -60.0, 1)], 1);
         assert_eq!(got.len(), 1, "epoch cleared: same seq delivers again");
     }
 
@@ -797,8 +810,8 @@ mod tests {
         };
         let run = |workers: usize| {
             let mut a = agg(3);
-            let d1 = a.round(batch(0), workers);
-            let d2 = a.round(batch(1000), workers);
+            let d1 = a.round(&mut batch(0), workers);
+            let d2 = a.round(&mut batch(1000), workers);
             (d1, d2, a.stats_snapshot())
         };
         let base = run(1);

@@ -164,6 +164,10 @@ pub struct GatewayCluster {
     /// Lane transitions applied since the last
     /// [`take_lane_events`](GatewayCluster::take_lane_events).
     events: Vec<LaneEventRecord>,
+    /// Aggregation-batch scratch, reused across polls: lane queues
+    /// drain into it, the aggregator drains it. Always empty between
+    /// polls; only the allocation persists.
+    batch: Vec<GatewayReport>,
 }
 
 impl GatewayCluster {
@@ -181,6 +185,7 @@ impl GatewayCluster {
             next_checkpoint: cfg.checkpoint_every.map(|e| Instant::ZERO + e),
             checkpoints: 0,
             events: Vec::new(),
+            batch: Vec::new(),
         }
     }
 
@@ -322,9 +327,12 @@ impl GatewayCluster {
             next_ordinal,
             checkpoints,
             events,
+            batch,
             ..
         } = self;
-        let mut batch = Vec::new();
+        // The batch scratch is drained by the aggregator every round;
+        // the clear is belt and braces against a panicked prior poll.
+        batch.clear();
         // Index-driven because the per-step closures need `&mut
         // lanes[idx]` re-borrowed between segments.
         #[allow(clippy::needless_range_loop)]
@@ -376,7 +384,8 @@ impl GatewayCluster {
                         // predicate.
                         drain_to(lane, at, &mut faults);
                         let lane = &mut lanes[idx];
-                        let lost = (lane.queue.drain().len() + lane.backhaul.len()) as u64;
+                        let lost = (lane.queue.len() + lane.backhaul.len()) as u64;
+                        lane.queue.clear();
                         lane.backhaul.clear();
                         lane.lost_in_crash += lost;
                         lane.crashes += 1;
@@ -435,7 +444,7 @@ impl GatewayCluster {
                 });
                 lane.shed += exhausted;
                 // Park this poll's reports, bounded.
-                for report in lane.queue.drain() {
+                while let Some(report) = lane.queue.pop() {
                     if lane.backhaul.len() < cfg.partition.buffer {
                         lane.backhaul.push_back((0, report));
                     } else {
@@ -454,7 +463,7 @@ impl GatewayCluster {
                     });
                 }
                 batch.extend(lane.backhaul.drain(..).map(|(_, r)| r));
-                batch.extend(lane.queue.drain());
+                lane.queue.drain_into(batch);
             }
         }
 
@@ -466,14 +475,14 @@ impl GatewayCluster {
         if let Some(cap) = plan.overload_cap(up_to) {
             if batch.len() > cap {
                 batch.sort_by_key(|r| r.ordinal);
-                for report in batch.split_off(cap) {
+                for report in batch.drain(cap..) {
                     lanes[report.gateway].shed += 1;
                 }
             }
         }
 
         events.sort_by_key(|e| (e.at, e.lane));
-        self.agg.round(batch, workers)
+        agg.round(batch, workers)
     }
 
     /// Evict devices unheard for [`ClusterConfig::stale_after`];

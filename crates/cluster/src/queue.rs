@@ -68,6 +68,27 @@ impl ReportQueue {
         self.buf.drain(..).collect()
     }
 
+    /// Append everything queued to `out` in FIFO order, leaving the
+    /// queue empty. The allocation-free sibling of
+    /// [`drain`](ReportQueue::drain): the cluster's poll loop feeds one
+    /// reused batch buffer from every lane instead of collecting a
+    /// fresh `Vec` per lane per poll.
+    pub fn drain_into(&mut self, out: &mut Vec<GatewayReport>) {
+        out.extend(self.buf.drain(..));
+    }
+
+    /// Take the oldest queued report, if any.
+    pub fn pop(&mut self) -> Option<GatewayReport> {
+        self.buf.pop_front()
+    }
+
+    /// Discard everything queued (crash semantics: the contents are
+    /// destroyed, not delivered). Capacity, drop count and high-water
+    /// mark persist.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Reports currently queued.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -130,6 +151,26 @@ mod tests {
         // After draining there is room again.
         assert!(q.push(report(9)));
         assert_eq!(q.drops(), 2);
+    }
+
+    #[test]
+    fn drain_into_appends_fifo_and_empties() {
+        let mut q = ReportQueue::bounded(4);
+        for n in 0..3 {
+            q.push(report(n));
+        }
+        let mut out = vec![report(99)];
+        q.drain_into(&mut out);
+        let seqs: Vec<u16> = out.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![99, 0, 1, 2], "appends after existing contents");
+        assert!(q.is_empty());
+        assert_eq!(q.high_water(), 3);
+        // pop/clear cover the partition and crash paths.
+        q.push(report(7));
+        q.push(report(8));
+        assert_eq!(q.pop().map(|r| r.seq), Some(7));
+        q.clear();
+        assert!(q.pop().is_none());
     }
 
     #[test]

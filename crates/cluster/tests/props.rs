@@ -96,7 +96,7 @@ fn run(
     );
     let out: Vec<_> = rounds
         .iter()
-        .map(|r| agg.round(r.clone(), workers))
+        .map(|r| agg.round(&mut r.clone(), workers))
         .collect();
     (
         out,

@@ -220,7 +220,7 @@ impl Injector {
             .take_inbox(radio, close)
             .into_iter()
             .filter(|f| f.at >= open && f.at <= close)
-            .map(|f| f.bytes)
+            .map(|f| f.bytes.to_vec())
             .next();
         self.mcu.begin_phase("Sleep (after)");
         self.mcu.deep_sleep();

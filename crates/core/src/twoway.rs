@@ -193,7 +193,7 @@ pub fn device_twoway_cycle(
         .take_inbox(radio, close)
         .into_iter()
         .filter(|f| f.at >= open && f.at <= close)
-        .map(|f| f.bytes)
+        .map(|f| f.bytes.to_vec())
         .next();
     mcu.deep_sleep();
     TwoWayReport {
@@ -364,7 +364,7 @@ mod tests {
             .filter(|f| f.at >= w_open && f.at <= w_close)
             .collect();
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].bytes, b"downlink-cmd");
+        assert_eq!(&got[0].bytes[..], b"downlink-cmd");
         let _ = reply_at; // documented approximation above
     }
 

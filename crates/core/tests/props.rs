@@ -221,7 +221,7 @@ proptest! {
                         from: RadioId(0),
                         rssi_dbm: -40.0,
                         snr_db: 40.0,
-                        bytes: bytes.clone(),
+                        bytes: bytes.clone().into(),
                     }
                 })
                 .collect();

@@ -6,8 +6,10 @@
 //!
 //! * [`time`] — virtual [`time::Instant`]/[`time::Duration`] in integer
 //!   nanoseconds; nothing in the workspace reads the wall clock.
-//! * [`event`] — a stable binary-heap event scheduler for multi-device
-//!   scenarios (the §6 "network of IoT devices" study).
+//! * [`event`] — a stable event scheduler for multi-device scenarios
+//!   (the §6 "network of IoT devices" study): a hierarchical timer
+//!   wheel, with the original binary heap retained as the differential
+//!   reference.
 //! * [`channel`] — log-distance path loss, noise floor, SNR.
 //! * [`per`] — SNR → packet error rate per modulation family.
 //! * [`clock`] — per-device oscillators with ppm drift and white jitter;
@@ -45,7 +47,7 @@ pub mod time;
 
 pub use channel::ChannelModel;
 pub use clock::DriftClock;
-pub use event::EventQueue;
+pub use event::{EventQueue, NaiveEventQueue};
 pub use fault::{CorruptionMode, FaultInjector, FaultOutcome};
 pub use gilbert::{ChannelState, GilbertElliott};
 pub use medium::{Medium, RadioConfig, RadioId, RxFrame};

@@ -12,8 +12,12 @@
 //! randomized inputs, and the benchmark suite measures the gap between
 //! the two.
 
+use std::sync::Arc;
+
 use crate::channel::ChannelModel;
-use crate::medium::{RadioConfig, RadioId, RxFrame, TxParams, CAPTURE_MARGIN_DB};
+use crate::medium::{
+    RadioConfig, RadioId, RxFrame, TxParams, CAPTURE_MARGIN_DB, SHADOW_CLAMP_SIGMA,
+};
 use crate::per::packet_error_rate;
 use crate::time::Instant;
 
@@ -24,7 +28,7 @@ struct Transmission {
     end: Instant,
     channel: u8,
     params: TxParams,
-    bytes: Vec<u8>,
+    bytes: Arc<[u8]>,
 }
 
 /// The original O(radios × transmissions) medium, API-compatible with
@@ -86,7 +90,7 @@ impl NaiveMedium {
             end,
             channel,
             params,
-            bytes,
+            bytes: bytes.into(),
         });
         end
     }
@@ -139,9 +143,10 @@ impl NaiveMedium {
         let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
         let u1 = Self::unit_hash(self.seed ^ 0x5AAD_0001, lo, hi);
         let u2 = Self::unit_hash(self.seed ^ 0x5AAD_0002, lo, hi);
-        // Box–Muller for a standard normal from two uniforms.
+        // Box–Muller for a standard normal from two uniforms, clamped
+        // identically to [`crate::Medium::shadow_db`].
         let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        sigma * z
+        sigma * z.clamp(-SHADOW_CLAMP_SIGMA, SHADOW_CLAMP_SIGMA)
     }
 
     fn unit_hash(seed: u64, a: u32, b: u32) -> f64 {

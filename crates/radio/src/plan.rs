@@ -306,6 +306,24 @@ impl FaultTimeline {
         }
     }
 
+    /// [`FaultTimeline::apply`] for a shared frame buffer
+    /// ([`crate::RxFrame::bytes`] is an `Arc<[u8]>`): outside any active
+    /// phase the bytes are untouched and nothing is allocated — the
+    /// common case on the metro hot path — while a corrupting
+    /// disturbance copies the frame on write so other receivers holding
+    /// the same `Arc` never observe the mutation.
+    pub fn apply_shared(&mut self, at: Instant, bytes: &mut std::sync::Arc<[u8]>) -> FaultOutcome {
+        if self.plan.phase_index(at).is_none() {
+            return FaultOutcome::Pass;
+        }
+        let mut buf = bytes.to_vec();
+        let out = self.apply(at, &mut buf);
+        if buf[..] != bytes[..] {
+            *bytes = buf.into();
+        }
+        out
+    }
+
     /// Whether the gateway is inside an outage window at `at`.
     pub fn gateway_down(&self, at: Instant) -> bool {
         matches!(

@@ -8,7 +8,7 @@ use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::naive::NaiveMedium;
 use wile_radio::per::packet_error_rate;
 use wile_radio::time::{Duration, Instant};
-use wile_radio::EventQueue;
+use wile_radio::{EventQueue, NaiveEventQueue};
 
 /// One randomized radio: position in a 60 m box, one of three channels,
 /// one of two sensitivities.
@@ -17,6 +17,20 @@ fn arb_radio() -> impl Strategy<Value = RadioConfig> {
         position_m: (x, y),
         channel: [1, 6, 11][ch as usize],
         sensitivity_dbm: if deaf { -75.0 } else { -92.0 },
+    })
+}
+
+/// A wide-area radio: positions span a ~half-kilometre metro hall —
+/// dozens of spatial grid cells, so the sharded inbox walk has real
+/// neighbourhoods to cull (most pairs are beyond the sensitivity
+/// horizon of a 0/10 dBm transmission).
+fn arb_radio_wide() -> impl Strategy<Value = RadioConfig> {
+    (-200.0f64..400.0, -200.0f64..400.0, 0u8..3, any::<bool>()).prop_map(|(x, y, ch, deaf)| {
+        RadioConfig {
+            position_m: (x, y),
+            channel: [1, 6, 11][ch as usize],
+            sensitivity_dbm: if deaf { -75.0 } else { -92.0 },
+        }
     })
 }
 
@@ -156,6 +170,112 @@ proptest! {
     }
 
     #[test]
+    fn timer_wheel_matches_naive_heap_pop_for_pop(
+        // Random interleaving of schedules and pops. Times come from a
+        // few coarse buckets scaled up to spread across wheel levels,
+        // plus a jitter that often collides — exercising same-instant
+        // FIFO ties, far-future cascades, and (since pops move `now`
+        // while schedules may land behind it) the overdue path.
+        ops in prop::collection::vec(
+            (0u64..6, 0u64..4, 0usize..3, any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut naive = NaiveEventQueue::new();
+        for (label, &(bucket, jitter, pops, absolute)) in ops.iter().enumerate() {
+            let label = label as u64;
+            // Absolute times can fall behind `now` once pops happen —
+            // the legacy past-scheduling path both queues must agree on.
+            let at = if absolute {
+                Instant::from_ms(bucket * 40 + jitter)
+            } else {
+                wheel.now() + Duration::from_ms(bucket * 40 + jitter)
+            };
+            wheel.schedule(at, label);
+            naive.schedule(at, label);
+            prop_assert_eq!(wheel.peek_time(), naive.peek_time());
+            prop_assert_eq!(wheel.len(), naive.len());
+            for _ in 0..pops {
+                prop_assert_eq!(wheel.pop(), naive.pop());
+                prop_assert_eq!(wheel.now(), naive.now());
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), naive.pop());
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(wheel.now(), naive.now());
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty() && naive.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_matches_naive_heap_in_monotonic_mode(
+        // The kernel's usage pattern: monotonic mode on, all schedules
+        // via `schedule_after` (never in the past), drains at periodic
+        // deadlines. Tight buckets force many exact ties.
+        ops in prop::collection::vec((0u64..5, 0u64..3), 1..150),
+        drain_every in 1usize..8,
+    ) {
+        let mut wheel = EventQueue::new();
+        let mut naive = NaiveEventQueue::new();
+        wheel.assert_monotonic(true);
+        naive.assert_monotonic(true);
+        let mut wheel_buf = Vec::new();
+        for (k, &(bucket, extra)) in ops.iter().enumerate() {
+            let label = k as u64;
+            let delay = Duration::from_ms(bucket * 25) + Duration::from_us(extra);
+            let a1 = wheel.schedule_after(wheel.now(), delay, label);
+            let a2 = naive.schedule_after(naive.now(), delay, label);
+            prop_assert_eq!(a1, a2);
+            if (k + 1) % drain_every == 0 {
+                let deadline = wheel.now() + Duration::from_ms(50);
+                wheel_buf.clear();
+                wheel.drain_until_into(deadline, &mut wheel_buf);
+                let naive_out = naive.drain_until(deadline);
+                prop_assert_eq!(&wheel_buf, &naive_out);
+            }
+        }
+        prop_assert_eq!(
+            wheel.drain_until(Instant::from_secs(3600)),
+            naive.drain_until(Instant::from_secs(3600))
+        );
+    }
+
+    #[test]
+    fn schedule_batch_matches_item_by_item_schedules(
+        start_ms in 0u64..1_000,
+        stride_us in 0u64..5_000,
+        count in 0usize..400,
+        pre in prop::collection::vec(0u64..2_000, 0..20),
+    ) {
+        // A batched wake train interleaved with ordinary schedules must
+        // be indistinguishable from scheduling each wake individually.
+        let mut batched = EventQueue::new();
+        let mut single = EventQueue::new();
+        for (i, &ms) in pre.iter().enumerate() {
+            batched.schedule(Instant::from_ms(ms), u64::MAX - i as u64);
+            single.schedule(Instant::from_ms(ms), u64::MAX - i as u64);
+        }
+        let start = Instant::from_ms(start_ms);
+        let stride = Duration::from_us(stride_us);
+        batched.schedule_batch(start, stride, (0..count).map(|i| i as u64));
+        for i in 0..count {
+            single.schedule(start + stride.mul(i as u64), i as u64);
+        }
+        loop {
+            let (a, b) = (batched.pop(), single.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
     fn drain_until_includes_boundary_and_leaves_the_rest(
         times in prop::collection::vec(0u64..2_000, 1..150),
         deadline in 0u64..2_000,
@@ -271,7 +391,7 @@ proptest! {
         let got = m.take_inbox(b, t + Duration::from_secs(1));
         prop_assert_eq!(got.len(), payloads.len());
         for (rx, p) in got.iter().zip(&payloads) {
-            prop_assert_eq!(&rx.bytes, p);
+            prop_assert_eq!(&rx.bytes[..], &p[..]);
         }
         for w in got.windows(2) {
             prop_assert!(w[0].at <= w[1].at);
@@ -351,6 +471,21 @@ proptest! {
         traffic in arb_traffic(),
         poll_every in 1usize..10,
     ) {
+        assert_media_equivalent(seed, sigma, &radios, &traffic, poll_every, false)?;
+    }
+
+    #[test]
+    fn sharded_medium_matches_naive_over_wide_areas(
+        seed in any::<u64>(),
+        sigma in 0.0f64..10.0,
+        radios in prop::collection::vec(arb_radio_wide(), 2..10),
+        traffic in arb_traffic(),
+        poll_every in 1usize..10,
+    ) {
+        // Multi-cell topologies (including negative coordinates) where
+        // the spatial cull skips most sender cells: the delivered frame
+        // streams and carrier-sense answers must still be bit-identical
+        // to the naive full walk.
         assert_media_equivalent(seed, sigma, &radios, &traffic, poll_every, false)?;
     }
 

@@ -467,7 +467,7 @@ pub fn run_chaos_with_telemetry(
     workers: usize,
     tel: &mut Telemetry,
 ) -> ChaosReport {
-    let (mut kernel, gw_radios, mut registry, device_ids) = build_world(&cfg.metro);
+    let (mut kernel, gw_radios, mut registry, fleet) = build_world(&cfg.metro);
     if tel.enabled() {
         let mut kt = Telemetry::new();
         kt.set_trace_enabled(tel.trace().enabled());
@@ -549,7 +549,7 @@ pub fn run_chaos_with_telemetry(
 
     kernel.run();
 
-    let beacons = beacons_sent(&mut kernel, &device_ids);
+    let beacons = beacons_sent(&mut kernel, fleet);
     let sink = kernel.remove_actor::<ChaosSink>(sink);
     let stats = sink.cluster.stats();
     assert!(

@@ -75,6 +75,11 @@ pub struct MetroConfig {
     /// Retain the full delivery stream in the report (differential
     /// tests); at metro scale leave it off and compare digests.
     pub keep_deliveries: bool,
+    /// Device transmit power, dBm. Lower powers shrink the medium's
+    /// sensitivity horizon, which is what lets the spatially sharded
+    /// inbox walk cull city-scale worlds down to each gateway's
+    /// neighbourhood.
+    pub device_power_dbm: f64,
     /// World seed.
     pub seed: u64,
 }
@@ -98,7 +103,52 @@ impl MetroConfig {
             stale_after: Duration::from_secs(600),
             faults: None,
             keep_deliveries: false,
+            device_power_dbm: 0.0,
             seed,
+        }
+    }
+
+    /// The E14 configuration: a city-scale deployment — 100 gateways on
+    /// a 10×10 grid at 200 m pitch, one million devices, one simulated
+    /// hour. Shadowing is off so the sensitivity horizon is tight
+    /// (~54 m at 0 dBm under the default model) and each gateway's
+    /// inbox walk touches only its own neighbourhood of the million-
+    /// device transmission stream; coverage is deliberately sparse
+    /// (most devices are out of decode range — E14 measures scale and
+    /// determinism, not delivery ratio).
+    pub fn million(seed: u64) -> Self {
+        MetroConfig {
+            gateways: 100,
+            gw_cols: 10,
+            gw_spacing_m: 200.0,
+            devices: 1_000_000,
+            margin_m: 50.0,
+            period: Duration::from_secs(60),
+            duration: Duration::from_secs(3_600),
+            poll_every: Duration::from_secs(10),
+            payload_len: 8,
+            queue_capacity: Some(8192),
+            shadowing_sigma_db: 0.0,
+            stale_after: Duration::from_secs(900),
+            faults: None,
+            keep_deliveries: false,
+            device_power_dbm: 0.0,
+            seed,
+        }
+    }
+
+    /// A devices-scaling point for the E14 grid: the `million`
+    /// geometry shrunk so device density stays constant — gateways
+    /// scale as one per 10,000 devices (minimum 4, square-ish grid)
+    /// and the hall area scales with the gateway count.
+    pub fn metro_scaled(devices: usize, seed: u64) -> Self {
+        let gateways = (devices / 10_000).max(4);
+        let gw_cols = (gateways as f64).sqrt().ceil() as usize;
+        MetroConfig {
+            gateways,
+            gw_cols,
+            devices,
+            ..MetroConfig::million(seed)
         }
     }
 
@@ -119,6 +169,7 @@ impl MetroConfig {
             stale_after: Duration::from_secs(120),
             faults: None,
             keep_deliveries: true,
+            device_power_dbm: 0.0,
             seed,
         }
     }
@@ -158,6 +209,7 @@ impl MetroConfig {
                 seed,
             )),
             keep_deliveries: true,
+            device_power_dbm: 0.0,
             seed,
         }
     }
@@ -240,46 +292,58 @@ impl MetroReport {
 
 /// Events driving the metro world.
 pub(crate) enum MetroEv {
-    /// A device wakes and transmits one beacon.
-    Wake,
+    /// Device `i` wakes and transmits one beacon.
+    Wake(u32),
     /// The sink (cluster or reference gateway) drains and releases.
     Poll,
 }
 
-/// One transmit-only device (the fleet scenario's template pattern).
-struct MetroDevice {
-    radio: RadioId,
-    template: BeaconTemplate,
+/// The entire transmit-only fleet as one actor over a
+/// structure-of-arrays layout: the wake-hot per-device state (template,
+/// sequence number, sent tally) sits in parallel vectors indexed by the
+/// ordinal in [`MetroEv::Wake`], and the homogeneous payload buffer is
+/// shared fleet-wide. At a million devices this replaces a million
+/// boxed actors (pointer chase + cold fields per wake) with three
+/// dense array reads.
+struct MetroFleet {
+    radios: Vec<RadioId>,
+    templates: Vec<BeaconTemplate>,
+    seqs: Vec<u16>,
+    sent: Vec<u32>,
     payload: Vec<u8>,
-    seq: u16,
-    sent: u64,
+    tx_power_dbm: f64,
     period: Duration,
     end: Instant,
 }
 
-impl Actor<MetroEv> for MetroDevice {
-    fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
-        let frame = self.template.render(
-            self.seq,
-            SeqControl::new(self.seq & 0x0FFF, 0),
-            &self.payload,
-        );
+impl MetroFleet {
+    fn total_sent(&self) -> u64 {
+        self.sent.iter().map(|&s| s as u64).sum()
+    }
+}
+
+impl Actor<MetroEv> for MetroFleet {
+    fn on_event(&mut self, now: Instant, ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
+        let MetroEv::Wake(i) = ev else { return };
+        let i = i as usize;
+        let seq = self.seqs[i];
+        let frame = self.templates[i].render(seq, SeqControl::new(seq & 0x0FFF, 0), &self.payload);
         let airtime = Duration::from_us(frame_airtime_us(PhyRate::WILE_PAPER, frame.len()));
         ctx.medium.transmit(
-            self.radio,
+            self.radios[i],
             now,
             TxParams {
                 airtime,
-                power_dbm: 0.0,
+                power_dbm: self.tx_power_dbm,
                 min_snr_db: PhyRate::WILE_PAPER.min_snr_db(),
             },
             frame,
         );
-        self.seq = self.seq.wrapping_add(1);
-        self.sent += 1;
+        self.seqs[i] = seq.wrapping_add(1);
+        self.sent[i] += 1;
         let next = now + self.period;
         if next <= self.end {
-            ctx.schedule(next, ctx.self_id(), MetroEv::Wake);
+            ctx.schedule(next, ctx.self_id(), MetroEv::Wake(i as u32));
         }
     }
 }
@@ -394,12 +458,10 @@ impl Actor<MetroEv> for ReferenceSink {
 }
 
 /// Shared world construction: kernel, gateway radios (attached first,
-/// in lane order), provisioned registry, device actors with staggered
-/// wakes. Returns the kernel, the gateway radios, the registry, and the
-/// device actor ids.
-pub(crate) fn build_world(
-    cfg: &MetroConfig,
-) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, Vec<ActorId>) {
+/// in lane order), provisioned registry, and the single SoA fleet
+/// actor with its wake train staggered across one period. Returns the
+/// kernel, the gateway radios, the registry, and the fleet's actor id.
+pub(crate) fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, ActorId) {
     assert!(cfg.gateways >= 1 && cfg.devices >= 1);
     assert!(cfg.gw_cols >= 1);
     let model = ChannelModel {
@@ -425,43 +487,45 @@ pub(crate) fn build_world(
 
     let end = Instant::ZERO + cfg.duration;
     let mut registry = Registry::new();
-    let mut device_ids: Vec<ActorId> = Vec::with_capacity(cfg.devices);
+    let mut fleet = MetroFleet {
+        radios: Vec::with_capacity(cfg.devices),
+        templates: Vec::with_capacity(cfg.devices),
+        seqs: vec![0; cfg.devices],
+        sent: vec![0; cfg.devices],
+        payload: vec![0u8; cfg.payload_len],
+        tx_power_dbm: cfg.device_power_dbm,
+        period: cfg.period,
+        end,
+    };
     for i in 0..cfg.devices {
-        let radio = kernel.medium_mut().attach(RadioConfig {
+        fleet.radios.push(kernel.medium_mut().attach(RadioConfig {
             position_m: cfg.device_position(i),
             ..Default::default()
-        });
+        }));
         let device_id = i as u32 + 1;
         let identity = wile::registry::DeviceIdentity::new(device_id);
-        let template =
-            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded");
+        fleet.templates.push(
+            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded"),
+        );
         registry.add(identity);
-        device_ids.push(kernel.add_actor(MetroDevice {
-            radio,
-            template,
-            payload: vec![0u8; cfg.payload_len],
-            seq: 0,
-            sent: 0,
-            period: cfg.period,
-            end,
-        }));
     }
+    let fleet_id = kernel.add_actor(fleet);
 
-    // Stagger wakes uniformly across one period so arrivals never tie.
+    // Stagger wakes uniformly across one period so arrivals never tie,
+    // scheduled as one batched train through the timer wheel.
     let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
-    for (i, &id) in device_ids.iter().enumerate() {
-        let at = Instant::from_ms(500) + Duration::from_nanos(stagger_ns * i as u64);
-        kernel.schedule(at, id, MetroEv::Wake);
-    }
-    (kernel, gw_radios, registry, device_ids)
+    kernel.schedule_batch(
+        Instant::from_ms(500),
+        Duration::from_nanos(stagger_ns),
+        fleet_id,
+        (0..cfg.devices as u32).map(MetroEv::Wake),
+    );
+    (kernel, gw_radios, registry, fleet_id)
 }
 
-/// Sum of beacons sent, consuming the device actors.
-pub(crate) fn beacons_sent(kernel: &mut Kernel<MetroEv>, device_ids: &[ActorId]) -> u64 {
-    device_ids
-        .iter()
-        .map(|&id| kernel.remove_actor::<MetroDevice>(id).sent)
-        .sum()
+/// Sum of beacons sent, consuming the fleet actor.
+pub(crate) fn beacons_sent(kernel: &mut Kernel<MetroEv>, fleet: ActorId) -> u64 {
+    kernel.remove_actor::<MetroFleet>(fleet).total_sent()
 }
 
 /// Run the metro deployment through the cluster with up to `workers`
@@ -487,7 +551,7 @@ pub fn run_metro_with_telemetry(
     workers: usize,
     tel: &mut Telemetry,
 ) -> MetroReport {
-    let (mut kernel, gw_radios, mut registry, device_ids) = build_world(cfg);
+    let (mut kernel, gw_radios, mut registry, fleet) = build_world(cfg);
     if tel.enabled() {
         let mut kt = Telemetry::new();
         kt.set_trace_enabled(tel.trace().enabled());
@@ -523,7 +587,7 @@ pub fn run_metro_with_telemetry(
 
     kernel.run();
 
-    let beacons = beacons_sent(&mut kernel, &device_ids);
+    let beacons = beacons_sent(&mut kernel, fleet);
     let sink = kernel.remove_actor::<ClusterSink>(sink);
     let stats = sink.cluster.stats();
     assert!(
@@ -567,7 +631,7 @@ pub fn run_metro_reference(cfg: &MetroConfig) -> MetroReport {
         cfg.gateways, 1,
         "the reference is a single gateway by construction"
     );
-    let (mut kernel, gw_radios, registry, device_ids) = build_world(cfg);
+    let (mut kernel, gw_radios, registry, fleet) = build_world(cfg);
     let horizon = Instant::ZERO + cfg.duration + cfg.period;
     let sink = kernel.add_actor(ReferenceSink {
         ingest: GatewayIngest::new(gw_radios[0], Gateway::new()),
@@ -583,7 +647,7 @@ pub fn run_metro_reference(cfg: &MetroConfig) -> MetroReport {
 
     kernel.run();
 
-    let beacons = beacons_sent(&mut kernel, &device_ids);
+    let beacons = beacons_sent(&mut kernel, fleet);
     let sink = kernel.remove_actor::<ReferenceSink>(sink);
     let mut stats = ClusterStats::default();
     stats.lanes.push(wile_cluster::LaneStats {

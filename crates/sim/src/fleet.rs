@@ -112,33 +112,44 @@ impl FleetReport {
 
 /// Events driving the fleet.
 enum FleetEv {
-    /// A device wakes and transmits one beacon.
-    Wake,
+    /// Device `i` wakes and transmits one beacon.
+    Wake(u32),
     /// The gateway drains its inbox and releases consumed history.
     Poll,
 }
 
-/// One transmit-only device: template in, beacon out, reschedule.
-struct BeaconActor {
-    radio: wile_radio::medium::RadioId,
-    template: BeaconTemplate,
+/// Every transmit-only device in the fleet, as one actor over a
+/// structure-of-arrays layout: the per-device state a wake actually
+/// touches (template, sequence number, sent counter) lives in parallel
+/// vectors indexed by the device ordinal carried in
+/// [`FleetEv::Wake`], instead of a million boxed actors each with their
+/// own allocation, vtable, and cold private fields. The payload buffer
+/// is shared across the whole fleet (readings are homogeneous).
+struct FleetDevices {
+    radios: Vec<wile_radio::medium::RadioId>,
+    templates: Vec<BeaconTemplate>,
+    seqs: Vec<u16>,
+    sent: Vec<u32>,
     payload: Vec<u8>,
-    seq: u16,
-    sent: u64,
     period: Duration,
     end: Instant,
 }
 
-impl Actor<FleetEv> for BeaconActor {
-    fn on_event(&mut self, now: Instant, _ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
-        let frame = self.template.render(
-            self.seq,
-            SeqControl::new(self.seq & 0x0FFF, 0),
-            &self.payload,
-        );
+impl FleetDevices {
+    fn total_sent(&self) -> u64 {
+        self.sent.iter().map(|&s| s as u64).sum()
+    }
+}
+
+impl Actor<FleetEv> for FleetDevices {
+    fn on_event(&mut self, now: Instant, ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
+        let FleetEv::Wake(i) = ev else { return };
+        let i = i as usize;
+        let seq = self.seqs[i];
+        let frame = self.templates[i].render(seq, SeqControl::new(seq & 0x0FFF, 0), &self.payload);
         let airtime = Duration::from_us(frame_airtime_us(PhyRate::WILE_PAPER, frame.len()));
         ctx.medium.transmit(
-            self.radio,
+            self.radios[i],
             now,
             TxParams {
                 airtime,
@@ -147,11 +158,11 @@ impl Actor<FleetEv> for BeaconActor {
             },
             frame,
         );
-        self.seq = self.seq.wrapping_add(1);
-        self.sent += 1;
+        self.seqs[i] = seq.wrapping_add(1);
+        self.sent[i] += 1;
         let next = now + self.period;
         if next <= self.end {
-            ctx.schedule(next, ctx.self_id(), FleetEv::Wake);
+            ctx.schedule(next, ctx.self_id(), FleetEv::Wake(i as u32));
         }
     }
 }
@@ -206,27 +217,28 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let end = Instant::ZERO + cfg.duration;
     let horizon = end + cfg.period;
 
-    let mut device_ids: Vec<ActorId> = Vec::with_capacity(cfg.devices);
+    let mut devices = FleetDevices {
+        radios: Vec::with_capacity(cfg.devices),
+        templates: Vec::with_capacity(cfg.devices),
+        seqs: vec![0; cfg.devices],
+        sent: vec![0; cfg.devices],
+        payload: vec![0u8; cfg.payload_len],
+        period: cfg.period,
+        end,
+    };
     for i in 0..cfg.devices {
         let angle = i as f64 / cfg.devices as f64 * std::f64::consts::TAU;
-        let radio = kernel.medium_mut().attach(RadioConfig {
+        devices.radios.push(kernel.medium_mut().attach(RadioConfig {
             position_m: (cfg.radius_m * angle.cos(), cfg.radius_m * angle.sin()),
             ..Default::default()
-        });
+        }));
         let device_id = i as u32 + 1;
         let identity = DeviceIdentity::new(device_id);
-        let template =
-            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded");
-        device_ids.push(kernel.add_actor(BeaconActor {
-            radio,
-            template,
-            payload: vec![0u8; cfg.payload_len],
-            seq: 0,
-            sent: 0,
-            period: cfg.period,
-            end,
-        }));
+        devices.templates.push(
+            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded"),
+        );
     }
+    let fleet: ActorId = kernel.add_actor(devices);
     let gw = kernel.add_actor(GatewaySink {
         ingest: GatewayIngest::new(gw_radio, Gateway::new()),
         poll_every: cfg.poll_every,
@@ -235,20 +247,20 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         peak_live_tx: 0,
     });
 
-    // Stagger wakes uniformly across one period.
+    // Stagger wakes uniformly across one period, scheduled as one
+    // batched train through the timer wheel.
     let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
-    for (i, &id) in device_ids.iter().enumerate() {
-        let at = Instant::from_ms(500) + Duration::from_nanos(stagger_ns * i as u64);
-        kernel.schedule(at, id, FleetEv::Wake);
-    }
+    kernel.schedule_batch(
+        Instant::from_ms(500),
+        Duration::from_nanos(stagger_ns),
+        fleet,
+        (0..cfg.devices as u32).map(FleetEv::Wake),
+    );
     kernel.schedule(Instant::ZERO + cfg.poll_every, gw, FleetEv::Poll);
 
     kernel.run();
 
-    let beacons_sent: u64 = device_ids
-        .iter()
-        .map(|&id| kernel.remove_actor::<BeaconActor>(id).sent)
-        .sum();
+    let beacons_sent = kernel.remove_actor::<FleetDevices>(fleet).total_sent();
     let sink = kernel.remove_actor::<GatewaySink>(gw);
     let stats = sink.ingest.gateway().stats();
     FleetReport {

@@ -87,7 +87,7 @@ impl GatewayIngest {
                 if tl.gateway_down(f.at) {
                     continue;
                 }
-                if tl.apply(f.at, &mut f.bytes) == FaultOutcome::Dropped {
+                if tl.apply_shared(f.at, &mut f.bytes) == FaultOutcome::Dropped {
                     continue;
                 }
             }

@@ -108,6 +108,11 @@ pub struct Ctx<'a, E> {
     queue: &'a mut EventQueue<Envelope<E>>,
     log: &'a mut RunLog,
     air_lease: &'a mut Instant,
+    /// Fire time of the next undispatched event in the kernel's current
+    /// same-instant batch (see [`Kernel::run`]): those events left the
+    /// queue but have not fired yet, and [`Ctx::next_event_time`] must
+    /// keep seeing them.
+    batch_next: Option<Instant>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -145,7 +150,10 @@ impl<E> Ctx<'_, E> {
     /// a clear-air guard: only start a multi-transmission exchange when
     /// nothing else is scheduled inside its window.
     pub fn next_event_time(&self) -> Option<Instant> {
-        self.queue.peek_time()
+        match (self.batch_next, self.queue.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Record a structured [`RunLogEntry`] attributed to this actor.
@@ -228,6 +236,10 @@ pub struct Kernel<E> {
     events_dispatched: u64,
     /// Deepest the event queue has ever been.
     queue_high_water: usize,
+    /// Scratch for the hot loop's allocation-free same-instant drain
+    /// ([`EventQueue::drain_until_into`]); lives here so [`Kernel::run`]
+    /// reuses one buffer across every iteration.
+    batch: Vec<(Instant, Envelope<E>)>,
 }
 
 impl<E: 'static> Kernel<E> {
@@ -254,6 +266,7 @@ impl<E: 'static> Kernel<E> {
             telemetry: Telemetry::off(),
             events_dispatched: 0,
             queue_high_water: 0,
+            batch: Vec::new(),
         }
     }
 
@@ -391,6 +404,25 @@ impl<E: 'static> Kernel<E> {
         self.queue.schedule(at, Envelope { dst, ev });
     }
 
+    /// Schedule a homogeneous event train for `dst` — the i-th event
+    /// fires at `start + stride·i` — in one amortized pass over the
+    /// timer wheel ([`EventQueue::schedule_batch`]). This is the setup
+    /// idiom for staggering a million device wakes across one beacon
+    /// period without a million independent wheel walks.
+    pub fn schedule_batch(
+        &mut self,
+        start: Instant,
+        stride: Duration,
+        dst: ActorId,
+        evs: impl IntoIterator<Item = E>,
+    ) {
+        self.queue.schedule_batch(
+            start,
+            stride,
+            evs.into_iter().map(|ev| Envelope { dst, ev }),
+        );
+    }
+
     /// Simulated time of the last dispatched event.
     pub fn now(&self) -> Instant {
         self.queue.now()
@@ -401,15 +433,14 @@ impl<E: 'static> Kernel<E> {
         self.queue.len()
     }
 
-    /// Dispatch the next event; false when the queue is empty. Events
-    /// addressed to removed actors are dropped (the pop still counts).
-    pub fn step(&mut self) -> bool {
-        let Some((at, env)) = self.queue.pop() else {
-            return false;
-        };
+    /// Fire one event into its actor. Events addressed to removed
+    /// actors are dropped (the dispatch still counts). `batch_next` is
+    /// the fire time of the next already-drained-but-unfired event, so
+    /// [`Ctx::next_event_time`] stays exact mid-batch.
+    fn dispatch(&mut self, at: Instant, env: Envelope<E>, batch_next: Option<Instant>) {
         self.events_dispatched += 1;
         let Some(mut actor) = self.actors[env.dst.0].take() else {
-            return true;
+            return;
         };
         let mut ctx = Ctx {
             now: at,
@@ -420,20 +451,59 @@ impl<E: 'static> Kernel<E> {
             queue: &mut self.queue,
             log: &mut self.log,
             air_lease: &mut self.air_lease,
+            batch_next,
         };
         actor.obj_on_event(at, env.ev, &mut ctx);
         self.actors[env.dst.0] = Some(actor);
+    }
+
+    /// Dispatch the next event; false when the queue is empty. Events
+    /// addressed to removed actors are dropped (the pop still counts).
+    pub fn step(&mut self) -> bool {
+        let Some((at, env)) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(at, env, None);
         if self.queue.len() > self.queue_high_water {
             self.queue_high_water = self.queue.len();
         }
         true
     }
 
+    /// Drain and fire every event at the queue's front instant through
+    /// the reusable scratch buffer; returns events dispatched. Dispatch
+    /// order is exactly [`Kernel::step`]'s: the drain takes a `(time,
+    /// seq)`-ordered prefix, and — because the monotonic queue forbids
+    /// scheduling into the past — nothing an actor schedules mid-batch
+    /// can precede the batch's remainder (a same-instant [`Ctx::send`]
+    /// gets a later seq, which is exactly where the next drain picks it
+    /// up).
+    fn run_batch(&mut self, front: Instant) -> u64 {
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
+        self.queue.drain_until_into(front, &mut batch);
+        let n = batch.len() as u64;
+        // Pop from the back for by-value dispatch without reallocating.
+        batch.reverse();
+        while let Some((at, env)) = batch.pop() {
+            let batch_next = batch.last().map(|&(t, _)| t);
+            self.dispatch(at, env, batch_next);
+            // The same high-water the unbatched loop would see: events
+            // drained but not yet fired are still pending.
+            let pending = self.queue.len() + batch.len();
+            if pending > self.queue_high_water {
+                self.queue_high_water = pending;
+            }
+        }
+        self.batch = batch;
+        n
+    }
+
     /// Run until the event queue is empty; returns events dispatched.
     pub fn run(&mut self) -> u64 {
         let mut n = 0;
-        while self.step() {
-            n += 1;
+        while let Some(front) = self.queue.peek_time() {
+            n += self.run_batch(front);
         }
         n
     }
@@ -442,9 +512,11 @@ impl<E: 'static> Kernel<E> {
     /// events dispatched. Later events stay queued.
     pub fn run_until(&mut self, deadline: Instant) -> u64 {
         let mut n = 0;
-        while matches!(self.queue.peek_time(), Some(t) if t <= deadline) {
-            self.step();
-            n += 1;
+        while let Some(front) = self.queue.peek_time() {
+            if front > deadline {
+                break;
+            }
+            n += self.run_batch(front);
         }
         n
     }

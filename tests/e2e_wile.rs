@@ -135,8 +135,9 @@ fn fault_injected_corruption_is_dropped_cleanly() {
     let mut fault = FaultInjector::new(0.0, 0.5, 7);
     let mut gw = Gateway::new();
     let mut delivered = 0;
-    for mut rx in medium.take_inbox(phone, Instant::from_secs(60)) {
-        fault.apply(&mut rx.bytes);
+    for rx in medium.take_inbox(phone, Instant::from_secs(60)) {
+        let mut bytes = rx.bytes.to_vec();
+        fault.apply(&mut bytes);
         // Feed through a private medium so the gateway path is identical.
         let mut relay = Medium::new(Default::default(), 1);
         let a = relay.attach(RadioConfig::default());
@@ -152,7 +153,7 @@ fn fault_injected_corruption_is_dropped_cleanly() {
                 power_dbm: 0.0,
                 min_snr_db: 5.0,
             },
-            rx.bytes,
+            bytes,
         );
         let got = gw.poll(&mut relay, wile_radio::RadioId(1), Instant::from_secs(1));
         delivered += got.len();

@@ -129,8 +129,9 @@ fn smoltcp_style_fault_rates() {
     let mut fault = FaultInjector::new(0.0, 0.15, 99);
     let mut gw = Gateway::new();
     let mut delivered = 0usize;
-    for mut rx in medium.take_inbox(phone, Instant::from_secs(1000)) {
-        fault.apply(&mut rx.bytes);
+    for rx in medium.take_inbox(phone, Instant::from_secs(1000)) {
+        let mut bytes = rx.bytes.to_vec();
+        fault.apply(&mut bytes);
         let mut relay = Medium::new(Default::default(), 1);
         let a = relay.attach(RadioConfig::default());
         let _b = relay.attach(RadioConfig {
@@ -145,7 +146,7 @@ fn smoltcp_style_fault_rates() {
                 power_dbm: 0.0,
                 min_snr_db: 5.0,
             },
-            rx.bytes,
+            bytes,
         );
         delivered += gw
             .poll(&mut relay, wile_radio::RadioId(1), Instant::from_secs(1))
