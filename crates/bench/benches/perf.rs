@@ -16,6 +16,11 @@
 //! throughput (the `wile-cluster` pipeline under the metro scenario)
 //! over a gateways × devices grid and writes `BENCH_4.json` alongside.
 //!
+//! The PR-8 `sap` section prices the MAC service layer: the SAP-routed
+//! campaign and metro runners against their retained direct references
+//! (byte-identity asserted before timing, < 5% target) plus the E15
+//! mixed-protocol metro wall clock, written to `BENCH_8.json`.
+//!
 //! `WILE_BENCH_FAST=1` shrinks the workloads for CI smoke runs; the
 //! JSON notes which mode produced it.
 
@@ -26,10 +31,12 @@ use wile_cluster::{split_unified, ClusterDisturbance, PartitionPolicy, UnifiedPh
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::naive::NaiveMedium;
 use wile_radio::time::{Duration, Instant};
+use wile_scenarios::campaign::reference::run_campaign_reference;
 use wile_scenarios::campaign::{run_campaign_telemetry, run_campaigns, AdaptMode, CampaignConfig};
 use wile_scenarios::chaos::{run_chaos, ChaosConfig};
 use wile_scenarios::fig3;
-use wile_scenarios::metro::{run_metro, run_metro_with_telemetry, MetroConfig};
+use wile_scenarios::metro::{run_metro, run_metro_direct, run_metro_with_telemetry, MetroConfig};
+use wile_scenarios::mixed::{run_mixed, MixedConfig};
 use wile_telemetry::{Json, Telemetry};
 
 fn fast() -> bool {
@@ -168,7 +175,7 @@ fn bench_perf(c: &mut Criterion) {
         .iter()
         .map(|&seed| CampaignConfig::demo(seed, feedback_mode()))
         .collect();
-    let workers = wile_scenarios::engine::available_workers();
+    let workers = wile_sim::engine::available_workers();
     let digest = |rs: &[wile_scenarios::campaign::CampaignReport]| {
         rs.iter()
             .map(|r| r.delivery_ratio().to_bits())
@@ -255,7 +262,7 @@ fn bench_cluster(c: &mut Criterion) {
     } else {
         vec![(2, 500), (4, 500), (8, 500), (4, 2_000), (8, 2_000)]
     };
-    let workers = wile_scenarios::engine::available_workers();
+    let workers = wile_sim::engine::available_workers();
 
     wile_bench::banner("cluster ingest (gateways × devices grid)");
     let mut rows = Vec::new();
@@ -302,7 +309,7 @@ fn bench_cluster(c: &mut Criterion) {
 fn bench_telemetry(c: &mut Criterion) {
     let fast = fast();
     let reps = if fast { 1 } else { 3 };
-    let workers = wile_scenarios::engine::available_workers();
+    let workers = wile_sim::engine::available_workers();
     // Full mode times the E11/E12 metro configuration (PR-4's 13 s
     // baseline); fast mode shrinks it for the CI smoke run.
     let cfg = if fast {
@@ -433,7 +440,7 @@ fn chaos_cell(gateways: usize, devices: usize) -> ChaosConfig {
 fn bench_chaos(c: &mut Criterion) {
     let fast = fast();
     let reps = if fast { 1 } else { 3 };
-    let workers = wile_scenarios::engine::available_workers();
+    let workers = wile_sim::engine::available_workers();
     // Full mode prices the fault layer on the E11/E13 metro
     // configuration; fast mode shrinks the world for the CI smoke run.
     let metro_cfg = if fast {
@@ -558,7 +565,7 @@ const PR6_20K_BEACONS_PER_S: f64 = 1_199_834.0 / 10.6362;
 fn bench_scale(c: &mut Criterion) {
     let fast = fast();
     let reps = if fast { 1 } else { 2 };
-    let workers = wile_scenarios::engine::available_workers();
+    let workers = wile_sim::engine::available_workers();
     // The devices-scaling grid: the E14 geometry (constant density,
     // gateways scale with devices, σ=0 so the sensitivity horizon is
     // tight) from 10⁴ up. The full-mode tail is the E14 million point
@@ -645,12 +652,173 @@ fn bench_scale(c: &mut Criterion) {
     println!("\nwrote {path}");
 }
 
+fn bench_sap(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 3 };
+    let workers = wile_sim::engine::available_workers();
+
+    // --- campaign: SAP-routed kernel runner vs the direct reference --
+    wile_bench::banner("SAP overhead (campaign: service layer vs direct loop)");
+    let cfgs: Vec<CampaignConfig> = [42u64, 7, 9]
+        .iter()
+        .map(|&seed| CampaignConfig::demo(seed, feedback_mode()))
+        .collect();
+    // Byte-identity witness before timing: the service layer observes
+    // and routes; it must never steer.
+    for (cfg, got) in cfgs.iter().zip(&run_campaigns(&cfgs, 1)) {
+        assert_eq!(
+            got,
+            &run_campaign_reference(cfg),
+            "SAP campaign diverged from the direct reference at seed {}",
+            cfg.seed
+        );
+    }
+    let digest = |rs: &[wile_scenarios::campaign::CampaignReport]| {
+        rs.iter()
+            .map(|r| r.delivery_ratio().to_bits())
+            .fold(0u64, |a, b| a ^ b)
+    };
+    let direct_s = median_s(reps, || {
+        cfgs.iter()
+            .map(|cfg| run_campaign_reference(cfg).delivery_ratio().to_bits())
+            .fold(0u64, |a, b| a ^ b)
+    });
+    let sap_s = median_s(reps, || digest(&run_campaigns(&cfgs, 1)));
+    let campaign_overhead_pct = (sap_s / direct_s - 1.0) * 100.0;
+    // The reference is the retained pre-kernel synchronous loop, so
+    // this prices kernel + SAP together; the metro point below isolates
+    // the SAP (both sides are kernel actors) and carries the target.
+    println!("direct {direct_s:.3} s, kernel+SAP {sap_s:.3} s ({campaign_overhead_pct:+.2}%)");
+
+    // --- metro: SAP fleet actor vs the direct oracle fleet -----------
+    wile_bench::banner("SAP overhead (metro: SAP fleet vs direct fleet)");
+    let metro_cfg = if fast {
+        cluster_cell(4, 500)
+    } else {
+        MetroConfig::metro(42)
+    };
+    let m_sap = run_metro(&metro_cfg, workers);
+    let m_direct = run_metro_direct(&metro_cfg, workers);
+    assert_eq!(m_sap, m_direct, "SAP metro diverged from the direct fleet");
+    let metro_direct_s = median_s(reps, || {
+        run_metro_direct(&metro_cfg, workers).delivery_digest
+    });
+    let metro_sap_s = median_s(reps, || run_metro(&metro_cfg, workers).delivery_digest);
+    let metro_overhead_pct = (metro_sap_s / metro_direct_s - 1.0) * 100.0;
+    println!(
+        "direct {metro_direct_s:.3} s, SAP {metro_sap_s:.3} s \
+         ({metro_overhead_pct:+.2}% overhead, target < 5%)"
+    );
+
+    // --- mixed-protocol metro (E15): what the SAP newly buys ---------
+    wile_bench::banner("mixed-protocol metro (E15 capstone)");
+    let mixed_cfg = if fast {
+        MixedConfig::smoke(42)
+    } else {
+        MixedConfig::scaled(400, 42)
+    };
+    let probe = run_mixed(&mixed_cfg, workers);
+    assert_eq!(
+        probe,
+        run_mixed(&mixed_cfg, 1),
+        "mixed report not digest-identical across worker counts"
+    );
+    assert!(probe.stats.conserves_offered_load());
+    let mixed_s = median_s(reps, || run_mixed(&mixed_cfg, workers).delivery_digest);
+    println!(
+        "{} Wi-LE + {} BLE + {} migrants: {mixed_s:.3} s \
+         ({} beacons, {} BLE events, {}/{} migrations)",
+        mixed_cfg.wile_devices,
+        mixed_cfg.ble_devices,
+        mixed_cfg.migrants,
+        probe.wile_beacons,
+        probe.ble_events,
+        probe.migrations,
+        mixed_cfg.migrants,
+    );
+
+    // Criterion-visible pair on a small campaign cell.
+    let small_cfg = CampaignConfig::demo(42, feedback_mode());
+    let mut g = c.benchmark_group("sap");
+    g.sample_size(10);
+    g.bench_function("campaign_direct", |b| {
+        b.iter(|| black_box(run_campaign_reference(&small_cfg).delivery_ratio()))
+    });
+    g.bench_function("campaign_sap", |b| {
+        b.iter(|| black_box(run_campaigns(std::slice::from_ref(&small_cfg), 1)[0].delivery_ratio()))
+    });
+    g.finish();
+
+    let json = Json::obj()
+        .field("pr", Json::int(8))
+        .field("fast_mode", Json::Bool(fast))
+        .field("workers", Json::int(workers as u64))
+        .field(
+            "note",
+            Json::str(
+                "MAC service layer (MCPS/MLME SAP) overhead, byte-identity asserted before \
+                 timing on every pair. The metro point isolates the SAP (both runners are \
+                 kernel fleet actors differing only in primitive routing) and carries the \
+                 < 5% target; the campaign point prices kernel + SAP together against the \
+                 retained pre-kernel synchronous loop. The mixed point is the E15 wall clock \
+                 the SAP unlocks (Wi-LE + BLE + WiFi migrants on one medium, digest-identical \
+                 at any worker count)",
+            ),
+        )
+        .field(
+            "campaign_kernel_plus_sap",
+            Json::obj()
+                .field("cells", Json::int(cfgs.len() as u64))
+                .field("direct_wall_s", Json::Num((direct_s * 1e4).round() / 1e4))
+                .field("sap_wall_s", Json::Num((sap_s * 1e4).round() / 1e4))
+                .field(
+                    "overhead_pct",
+                    Json::Num((campaign_overhead_pct * 100.0).round() / 100.0),
+                ),
+        )
+        .field(
+            "metro",
+            Json::obj()
+                .field("gateways", Json::int(metro_cfg.gateways as u64))
+                .field("devices", Json::int(metro_cfg.devices as u64))
+                .field(
+                    "direct_wall_s",
+                    Json::Num((metro_direct_s * 1e4).round() / 1e4),
+                )
+                .field("sap_wall_s", Json::Num((metro_sap_s * 1e4).round() / 1e4))
+                .field(
+                    "overhead_pct",
+                    Json::Num((metro_overhead_pct * 100.0).round() / 100.0),
+                )
+                .field("target_pct", Json::Num(5.0)),
+        )
+        .field(
+            "mixed",
+            Json::obj()
+                .field("wile_devices", Json::int(mixed_cfg.wile_devices as u64))
+                .field("ble_devices", Json::int(mixed_cfg.ble_devices as u64))
+                .field("migrants", Json::int(mixed_cfg.migrants as u64))
+                .field("wall_s", Json::Num((mixed_s * 1e4).round() / 1e4))
+                .field("wile_beacons", Json::int(probe.wile_beacons))
+                .field("ble_events", Json::int(probe.ble_events))
+                .field("migrations", Json::int(probe.migrations))
+                .field(
+                    "delivery_digest",
+                    Json::str(format!("{:#018x}", probe.delivery_digest)),
+                ),
+        );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_8.json");
+    println!("\nwrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_perf,
     bench_cluster,
     bench_telemetry,
     bench_chaos,
-    bench_scale
+    bench_scale,
+    bench_sap
 );
 criterion_main!(benches);

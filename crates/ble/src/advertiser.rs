@@ -82,6 +82,19 @@ impl Advertiser {
     pub fn next_event_at(&self) -> Instant {
         self.next_event
     }
+
+    /// Push the next event back to `t` (no-op if it is already later).
+    ///
+    /// The spec's advDelay already lets an event slip; this is the same
+    /// liberty taken deliberately, for callers whose radio is blocked —
+    /// e.g. a shared-medium driver deferring behind another protocol's
+    /// in-flight exchange. Later events reschedule from the deferred
+    /// start, so the train never produces a transmission in the past.
+    pub fn defer_to(&mut self, t: Instant) {
+        if self.next_event < t {
+            self.next_event = t;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,23 @@ impl core::fmt::Display for EncodeError {
 
 impl std::error::Error for EncodeError {}
 
+/// Frame one fragment: header ‖ chunk, exactly as it rides inside a
+/// vendor IE (Wi-LE) or a manufacturer AD structure (BLE). This is the
+/// single shared framing path for every MAC backend.
+pub fn frame_fragment(h: &FragmentHeader, chunk: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + chunk.len());
+    out.extend_from_slice(&h.to_bytes());
+    out.extend_from_slice(chunk);
+    out
+}
+
+/// Split a framed fragment back into its header and payload chunk —
+/// the inverse of [`frame_fragment`].
+pub fn parse_fragment(bytes: &[u8]) -> Option<(FragmentHeader, &[u8])> {
+    let h = FragmentHeader::parse(bytes)?;
+    Some((h, &bytes[HEADER_LEN..]))
+}
+
 /// Split a message into vendor-IE payloads (header ‖ chunk each).
 pub fn encode_fragments(msg: &Message) -> Result<Vec<Vec<u8>>, EncodeError> {
     if msg.payload.len() > MAX_MESSAGE_PAYLOAD {
@@ -55,10 +72,7 @@ pub fn encode_fragments(msg: &Message) -> Result<Vec<Vec<u8>>, EncodeError> {
                 frag_index: i as u8,
                 frag_count: count,
             };
-            let mut out = Vec::with_capacity(HEADER_LEN + chunk.len());
-            out.extend_from_slice(&h.to_bytes());
-            out.extend_from_slice(chunk);
-            out
+            frame_fragment(&h, chunk)
         })
         .collect())
 }
@@ -71,7 +85,7 @@ pub fn decode_fragments<'a>(ie_payloads: impl Iterator<Item = &'a [u8]>) -> Opti
     let mut slots: Vec<Option<&[u8]>> = Vec::new();
     let mut meta: Option<FragmentHeader> = None;
     for p in ie_payloads {
-        let h = FragmentHeader::parse(p)?;
+        let (h, chunk) = parse_fragment(p)?;
         match &meta {
             None => {
                 slots = vec![None; h.frag_count as usize];
@@ -85,7 +99,7 @@ pub fn decode_fragments<'a>(ie_payloads: impl Iterator<Item = &'a [u8]>) -> Opti
                 }
             }
         }
-        slots[h.frag_index as usize] = Some(&p[HEADER_LEN..]);
+        slots[h.frag_index as usize] = Some(chunk);
     }
     let meta = meta?;
     let mut payload = Vec::new();
@@ -103,6 +117,30 @@ pub fn decode_fragments<'a>(ie_payloads: impl Iterator<Item = &'a [u8]>) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_fragment_matches_hand_assembly_byte_for_byte() {
+        // The shared framing helper must produce exactly the bytes the
+        // pre-refactor inline assembly did: header ‖ chunk, nothing else.
+        let h = FragmentHeader {
+            version: VERSION,
+            flags: 0x03,
+            device_id: 0xDEAD_BEEF,
+            seq: 0x1234,
+            frag_index: 1,
+            frag_count: 2,
+        };
+        let chunk = b"reading-bytes";
+        let mut hand = Vec::with_capacity(HEADER_LEN + chunk.len());
+        hand.extend_from_slice(&h.to_bytes());
+        hand.extend_from_slice(chunk);
+        let framed = frame_fragment(&h, chunk);
+        assert_eq!(framed, hand);
+        // And the inverse recovers both halves.
+        let (back, tail) = parse_fragment(&framed).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(tail, chunk);
+    }
 
     #[test]
     fn small_message_single_fragment() {

@@ -1,0 +1,56 @@
+//! One MAC service layer under Wi-LE, WiFi, and BLE.
+//!
+//! The paper's core claim is that one WiFi radio can serve both "real
+//! WiFi" and BLE-like beaconing roles — yet the repo historically
+//! exposed three unrelated device APIs (`wile::inject`, the
+//! `wile-netstack` STA/AP stack, and `wile-ble`'s advertiser). This
+//! crate restructures that face as IEEE-802.15.4-style
+//! request/confirm/indication **service primitives** behind a single
+//! MAC SAP, the shape production 802.15.4 stacks use:
+//!
+//! - [`McpsDataRequest`] / [`McpsDataConfirm`] / [`McpsDataIndication`]
+//!   for the data plane, and
+//! - `Mlme{Scan,Associate,Start,Wake}{Request,Confirm,Indication}` for
+//!   management (scan/associate map onto the `wile-netstack` handshake;
+//!   the wake primitive models the 802.11ba-style paging/listen
+//!   companion path).
+//!
+//! Three backends implement the [`MacSap`] trait:
+//!
+//! - [`WileMac`] — beacon-stuffed injection (per-device [`Injector`]s
+//!   or SoA beacon templates) plus [`AdaptiveRepeat`]; confirms carry
+//!   copies-sent and energy.
+//! - [`WifiMac`] — the full association state machine; scan, associate
+//!   and data map onto the existing probe/auth/WPA2/DHCP exchange.
+//! - [`BleMac`] — advertising trains: one fragment framed by the same
+//!   shared helper as Wi-LE, carried as a manufacturer AD structure on
+//!   channels 37/38/39.
+//!
+//! Because every primitive is synchronous against the shared
+//! [`Medium`], the SAP also finally separates "what the app asked"
+//! (per-primitive telemetry counters plus a `mac.request` sim-time
+//! span) from "what the air did" (the medium's own instruments).
+//!
+//! [`Injector`]: wile::inject::Injector
+//! [`AdaptiveRepeat`]: wile::reliability::AdaptiveRepeat
+//! [`Medium`]: wile_radio::medium::Medium
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ble;
+pub mod primitives;
+pub mod sap;
+pub mod wifi;
+pub mod wile_backend;
+
+pub use ble::BleMac;
+pub use primitives::{
+    MacProtocol, MacStatus, McpsDataConfirm, McpsDataIndication, McpsDataRequest,
+    MlmeAssociateConfirm, MlmeAssociateIndication, MlmeAssociateRequest, MlmeScanConfirm,
+    MlmeScanIndication, MlmeScanRequest, MlmeStartConfirm, MlmeStartIndication, MlmeStartRequest,
+    MlmeWakeConfirm, MlmeWakeIndication, MlmeWakeRequest,
+};
+pub use sap::{AirCtx, MacSap};
+pub use wifi::WifiMac;
+pub use wile_backend::WileMac;

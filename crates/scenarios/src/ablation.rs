@@ -67,7 +67,7 @@ pub fn payload_sweep(sizes: &[usize]) -> Vec<PayloadPoint> {
 /// (every point simulates a fresh device and medium). Identical output
 /// for any worker count.
 pub fn payload_sweep_par(sizes: &[usize], workers: usize) -> Vec<PayloadPoint> {
-    crate::engine::run_cells(sizes.len(), workers, |i| payload_point(sizes[i]))
+    wile_sim::engine::run_cells(sizes.len(), workers, |i| payload_point(sizes[i]))
 }
 
 fn payload_point(payload_len: usize) -> PayloadPoint {
@@ -108,7 +108,7 @@ pub fn init_time_sweep(scales: &[f64]) -> Vec<InitPoint> {
 /// [`init_time_sweep`] with each scale factor as its own engine cell.
 /// Identical output for any worker count.
 pub fn init_time_sweep_par(scales: &[f64], workers: usize) -> Vec<InitPoint> {
-    crate::engine::run_cells(scales.len(), workers, |i| init_point(scales[i]))
+    wile_sim::engine::run_cells(scales.len(), workers, |i| init_point(scales[i]))
 }
 
 fn init_point(k: f64) -> InitPoint {
@@ -243,7 +243,7 @@ pub fn twoway_cadence_sweep_par(
     cycles: usize,
     workers: usize,
 ) -> Vec<CadencePoint> {
-    crate::engine::run_cells(cadences.len(), workers, |i| {
+    wile_sim::engine::run_cells(cadences.len(), workers, |i| {
         cadence_point(cadences[i], cycles)
     })
 }

@@ -5,22 +5,31 @@
 //! one AP on a private medium. This scenario puts N duty-cycled clients
 //! on one kernel medium and replays the full `wile-netstack` handshake
 //! (probe → auth → assoc → 4-way WPA2 → DHCP → ARP → data, every frame
-//! on the simulated air) each time a [`WifiDutyCycleActor`] wakes.
+//! on the simulated air) each time a [`WifiDutyCycleActor`] wakes. Each
+//! wake is one MLME-ASSOCIATE.request on a single-station
+//! [`WifiMac`] — the `wile-mac` service layer's WiFi backend — and the
+//! confirm carries the attempt's frame and energy accounting.
 //!
 //! A full association is a *synchronous multi-transmission exchange* —
-//! [`run_connection`] issues dozens of time-ordered transmits over
-//! ~1.5 s of simulated time — and [`wile_radio::Medium`] requires
-//! globally non-decreasing transmit starts. The kernel's **air lease**
+//! the handshake issues dozens of time-ordered transmits over ~1.5 s of
+//! simulated time — and [`wile_radio::Medium`] requires globally
+//! non-decreasing transmit starts. The kernel's **air lease**
 //! ([`Ctx::reserve_air`]) is what makes several such actors compose: a
 //! waking actor that finds the air leased defers its whole wake to the
 //! lease end instead of interleaving, then publishes its own occupancy.
 //! The deferral count is reported — it is the §3.1 story in miniature:
 //! duty-cycled WiFi clients queue behind each other's chatty handshakes,
 //! while Wi-LE's one-beacon uplink has nothing to queue behind.
+//!
+//! The pre-SAP actor (calling [`run_connection`] directly) is retained
+//! verbatim as the device side of [`run_assoc_fleet_direct`];
+//! `tests/sap_diff.rs` proves [`run_assoc_fleet`] reproduces its
+//! [`AssocReport`] byte for byte.
 
 use wile_device::Mcu;
 use wile_dot11::MacAddr;
 use wile_instrument::energy::energy_mj;
+use wile_mac::{AirCtx, MacSap, MlmeAssociateRequest, WifiMac};
 use wile_netstack::ap::AccessPoint;
 use wile_netstack::connect::{run_connection, ConnectConfig};
 use wile_netstack::sta::Station;
@@ -84,11 +93,150 @@ pub struct AssocReport {
 /// The only event: a station wakes to (re-)associate and transmit.
 struct WakeEv;
 
-/// One duty-cycled WiFi client plus its AP: on every wake it boots,
-/// runs the full association handshake through the shared medium, sends
-/// one reading, and deep-sleeps — deferring first if another station's
-/// exchange holds the air lease.
+/// One duty-cycled WiFi client plus its AP behind a single-station
+/// [`WifiMac`]: on every wake it issues MLME-ASSOCIATE (the backend
+/// boots a fresh supplicant, runs the full handshake through the shared
+/// medium, sends one reading, and deep-sleeps) — deferring first if
+/// another station's exchange holds the air lease.
 pub struct WifiDutyCycleActor {
+    mac: WifiMac,
+    index: u32,
+    period: Duration,
+    cycles_left: usize,
+    attempts: u64,
+    connected: u64,
+    deferrals: u64,
+    mac_frames: u64,
+    higher_layer_frames: u64,
+    energy_mj: f64,
+}
+
+impl Actor<WakeEv> for WifiDutyCycleActor {
+    fn on_event(&mut self, now: Instant, _ev: WakeEv, ctx: &mut Ctx<'_, WakeEv>) {
+        // Another station's handshake still owns the air: postpone the
+        // whole wake past it rather than interleave transmissions.
+        let lease = ctx.air_reserved_until();
+        if now < lease {
+            self.deferrals += 1;
+            ctx.emit("deferred", lease.since(now).as_us());
+            let me = ctx.self_id();
+            ctx.schedule(lease, me, WakeEv);
+            return;
+        }
+
+        let confirm = {
+            let mut air = AirCtx {
+                medium: &mut *ctx.medium,
+                now,
+                actor: self.index,
+                telemetry: &mut *ctx.telemetry,
+            };
+            self.mac
+                .mlme_associate(&mut air, MlmeAssociateRequest { device: 0 })
+        };
+        // Publish our occupancy so peers waking mid-exchange defer.
+        ctx.reserve_air(confirm.t_sleep);
+
+        self.attempts += 1;
+        if confirm.connected {
+            self.connected += 1;
+        }
+        self.mac_frames += confirm.mac_frames;
+        self.higher_layer_frames += confirm.higher_layer_frames;
+        self.energy_mj += confirm.energy_mj;
+        ctx.emit("associated", confirm.connected as u64);
+
+        self.cycles_left -= 1;
+        if self.cycles_left > 0 {
+            let me = ctx.self_id();
+            ctx.schedule(now + self.period, me, WakeEv);
+        }
+    }
+}
+
+/// Run an association fleet through the kernel, every attempt routed
+/// through the MAC service layer.
+pub fn run_assoc_fleet(cfg: &AssocConfig) -> AssocReport {
+    assert!(cfg.stations >= 1 && cfg.cycles >= 1);
+    let mut kernel: Kernel<WakeEv> = Kernel::new(Default::default(), cfg.seed);
+
+    let mut ids = Vec::with_capacity(cfg.stations);
+    for i in 0..cfg.stations {
+        // Each client sits a metre from its own AP (the paper's bench
+        // geometry); pairs are spread out but share the channel.
+        let x = i as f64 * 20.0;
+        let sta_radio = kernel.medium_mut().attach(RadioConfig {
+            position_m: (x, 0.0),
+            ..Default::default()
+        });
+        let ap_radio = kernel.medium_mut().attach(RadioConfig {
+            position_m: (x, 1.0),
+            ..Default::default()
+        });
+        let ap_mac = MacAddr::new([0xAA, 0, 0, 0, 0, i as u8 + 1]);
+        let sta_mac = MacAddr::new([0x02, 0, 0, 0, 0, i as u8 + 1]);
+        let mut mac = WifiMac::new();
+        mac.push_station(
+            sta_radio,
+            ap_radio,
+            AccessPoint::new(b"HomeNet", "hunter22", ap_mac, 6),
+            sta_mac,
+            "hunter22",
+            ConnectConfig::default(),
+            cfg.seed as u32 ^ ((i as u32) << 16),
+        );
+        let id = kernel.add_actor(WifiDutyCycleActor {
+            mac,
+            index: i as u32,
+            period: cfg.period,
+            cycles_left: cfg.cycles,
+            attempts: 0,
+            connected: 0,
+            deferrals: 0,
+            mac_frames: 0,
+            higher_layer_frames: 0,
+            energy_mj: 0.0,
+        });
+        ids.push(id);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        kernel.schedule(
+            Instant::from_ms(100) + cfg.spacing.mul(i as u64),
+            id,
+            WakeEv,
+        );
+    }
+    kernel.run();
+
+    let mut report = AssocReport {
+        stations: cfg.stations,
+        attempts: 0,
+        connected: 0,
+        deferrals: 0,
+        mac_frames: 0,
+        higher_layer_frames: 0,
+        energy_mj: 0.0,
+        sim_end: kernel.now(),
+    };
+    for &id in &ids {
+        let a = kernel.remove_actor::<WifiDutyCycleActor>(id);
+        report.attempts += a.attempts;
+        report.connected += a.connected;
+        report.deferrals += a.deferrals;
+        report.mac_frames += a.mac_frames;
+        report.higher_layer_frames += a.higher_layer_frames;
+        report.energy_mj += a.energy_mj;
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Frozen pre-SAP runner (differential oracle)
+// ---------------------------------------------------------------------
+
+/// The pre-SAP duty-cycle actor, retained verbatim: calls
+/// [`run_connection`] directly, no service layer.
+struct DirectWifiDutyCycleActor {
     sta_radio: RadioId,
     ap_radio: RadioId,
     ap: AccessPoint,
@@ -105,10 +253,8 @@ pub struct WifiDutyCycleActor {
     energy_mj: f64,
 }
 
-impl Actor<WakeEv> for WifiDutyCycleActor {
+impl Actor<WakeEv> for DirectWifiDutyCycleActor {
     fn on_event(&mut self, now: Instant, _ev: WakeEv, ctx: &mut Ctx<'_, WakeEv>) {
-        // Another station's handshake still owns the air: postpone the
-        // whole wake past it rather than interleave transmissions.
         let lease = ctx.air_reserved_until();
         if now < lease {
             self.deferrals += 1;
@@ -160,15 +306,15 @@ impl Actor<WakeEv> for WifiDutyCycleActor {
     }
 }
 
-/// Run an association fleet through the kernel.
-pub fn run_assoc_fleet(cfg: &AssocConfig) -> AssocReport {
+/// Run the association fleet on the retained pre-SAP actor — the
+/// differential oracle [`run_assoc_fleet`] must reproduce byte for byte
+/// (`tests/sap_diff.rs`).
+pub fn run_assoc_fleet_direct(cfg: &AssocConfig) -> AssocReport {
     assert!(cfg.stations >= 1 && cfg.cycles >= 1);
     let mut kernel: Kernel<WakeEv> = Kernel::new(Default::default(), cfg.seed);
 
     let mut ids = Vec::with_capacity(cfg.stations);
     for i in 0..cfg.stations {
-        // Each client sits a metre from its own AP (the paper's bench
-        // geometry); pairs are spread out but share the channel.
         let x = i as f64 * 20.0;
         let sta_radio = kernel.medium_mut().attach(RadioConfig {
             position_m: (x, 0.0),
@@ -180,7 +326,7 @@ pub fn run_assoc_fleet(cfg: &AssocConfig) -> AssocReport {
         });
         let ap_mac = MacAddr::new([0xAA, 0, 0, 0, 0, i as u8 + 1]);
         let sta_mac = MacAddr::new([0x02, 0, 0, 0, 0, i as u8 + 1]);
-        let id = kernel.add_actor(WifiDutyCycleActor {
+        let id = kernel.add_actor(DirectWifiDutyCycleActor {
             sta_radio,
             ap_radio,
             ap: AccessPoint::new(b"HomeNet", "hunter22", ap_mac, 6),
@@ -218,7 +364,7 @@ pub fn run_assoc_fleet(cfg: &AssocConfig) -> AssocReport {
         sim_end: kernel.now(),
     };
     for &id in &ids {
-        let a = kernel.remove_actor::<WifiDutyCycleActor>(id);
+        let a = kernel.remove_actor::<DirectWifiDutyCycleActor>(id);
         report.attempts += a.attempts;
         report.connected += a.connected;
         report.deferrals += a.deferrals;
@@ -250,6 +396,13 @@ mod tests {
             (150.0..=320.0).contains(&per_attempt),
             "energy/attempt {per_attempt} mJ"
         );
+    }
+
+    #[test]
+    fn sap_fleet_matches_direct_runner() {
+        let a = run_assoc_fleet(&AssocConfig::contended(42));
+        let b = run_assoc_fleet_direct(&AssocConfig::contended(42));
+        assert_eq!(a, b);
     }
 
     #[test]

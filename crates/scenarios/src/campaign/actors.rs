@@ -39,9 +39,9 @@ use super::{
 };
 use std::collections::HashSet;
 use wile::inject::InjectReport;
-use wile::message::Message;
 use wile::monitor::{Gateway, Received};
 use wile::twoway::FeedbackFrame;
+use wile_mac::{AirCtx, MacSap, McpsDataRequest, MlmeWakeRequest};
 use wile_radio::medium::{RadioConfig, RadioId, TxParams};
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::{Duration, Instant};
@@ -111,12 +111,7 @@ impl DevActor {
                 CampaignEv::Copy { seq },
             );
         }
-        let backoff = self
-            .dev
-            .adaptive
-            .as_ref()
-            .map(|a| a.period_backoff())
-            .unwrap_or(Duration::ZERO);
+        let backoff = self.dev.mac.period_backoff(0);
         let next = self.dev.clock.wake_after(t, self.period + backoff);
         if next <= self.end {
             ctx.schedule(next, me, CampaignEv::Msg);
@@ -151,7 +146,7 @@ impl Actor<CampaignEv> for DevActor {
                 // Blind adaptation samples carrier sense at wake.
                 if matches!(self.mode, AdaptMode::Blind(_)) {
                     let busy = tl.air_busy(now);
-                    self.dev.adaptive.as_mut().unwrap().observe_air_busy(busy);
+                    self.dev.mac.observe_air_busy(0, busy);
                 }
                 let policy = self.dev.policy();
                 let wants_feedback = match &self.mode {
@@ -173,16 +168,30 @@ impl Actor<CampaignEv> for DevActor {
                 self.dev.msg_count += 1;
 
                 if wants_feedback && clear_air {
-                    self.dev.inj.sleep_until(now);
-                    let rep = self.dev.inj.inject_twoway(
-                        ctx.medium,
-                        self.dev.radio,
-                        PAYLOAD,
-                        FEEDBACK_WINDOW,
-                    );
-                    let seq = rep.seq;
-                    let (open, close) = FEEDBACK_WINDOW.absolute(rep.t_tx_end);
+                    let confirm = {
+                        let mut air = AirCtx {
+                            medium: &mut *ctx.medium,
+                            now,
+                            actor: self.index as u32,
+                            telemetry: &mut *ctx.telemetry,
+                        };
+                        self.dev.mac.mcps_data(
+                            &mut air,
+                            McpsDataRequest {
+                                device: 0,
+                                payload: PAYLOAD,
+                                rx_window: Some(FEEDBACK_WINDOW),
+                                copies: 1,
+                                repeat_of: None,
+                            },
+                        )
+                    };
+                    let seq = confirm.seq;
+                    let (open, close) = confirm
+                        .rx_window
+                        .expect("a windowed request confirms with its absolute window");
                     let reply_at = open + Duration::from_us(300);
+                    let rep = confirm.report();
                     ctx.send(
                         self.gw,
                         CampaignEv::ServeWindow {
@@ -203,21 +212,42 @@ impl Actor<CampaignEv> for DevActor {
                         },
                     );
                 } else {
-                    self.dev.inj.sleep_until(now);
-                    let rep = self.dev.inj.inject(ctx.medium, self.dev.radio, PAYLOAD);
-                    let seq = rep.seq;
-                    self.dev.reports.push(rep);
+                    let confirm = {
+                        let mut air = AirCtx {
+                            medium: &mut *ctx.medium,
+                            now,
+                            actor: self.index as u32,
+                            telemetry: &mut *ctx.telemetry,
+                        };
+                        self.dev
+                            .mac
+                            .mcps_data(&mut air, McpsDataRequest::plain(0, PAYLOAD))
+                    };
+                    let seq = confirm.seq;
+                    self.dev.reports.push(confirm.report());
                     self.finish_round(seq, policy.copies, now, ctx);
                 }
             }
             CampaignEv::Copy { seq } => {
-                self.dev.inj.sleep_until(now);
-                let msg = Message::new(self.index as u32 + 1, seq, PAYLOAD);
-                let rep = self
-                    .dev
-                    .inj
-                    .inject_message(ctx.medium, self.dev.radio, &msg);
-                self.dev.reports.push(rep);
+                let confirm = {
+                    let mut air = AirCtx {
+                        medium: &mut *ctx.medium,
+                        now,
+                        actor: self.index as u32,
+                        telemetry: &mut *ctx.telemetry,
+                    };
+                    self.dev.mac.mcps_data(
+                        &mut air,
+                        McpsDataRequest {
+                            device: 0,
+                            payload: PAYLOAD,
+                            rx_window: None,
+                            copies: 1,
+                            repeat_of: Some(seq),
+                        },
+                    )
+                };
+                self.dev.reports.push(confirm.report());
             }
             CampaignEv::FinishFeedback {
                 seq,
@@ -226,18 +256,30 @@ impl Actor<CampaignEv> for DevActor {
                 close,
                 rep,
             } => {
-                // Device listens through its announced window.
-                let device_id = self.dev.inj.identity().device_id;
-                if let Some(bytes) =
-                    self.dev
-                        .inj
-                        .listen_window(ctx.medium, self.dev.radio, open, close)
-                {
+                // Device listens through its announced window (the
+                // MLME-WAKE primitive — the 802.11ba-style "wake up and
+                // receive" face of the SAP).
+                let device_id = self.dev.mac.injector(0).identity().device_id;
+                let wake = {
+                    let mut air = AirCtx {
+                        medium: &mut *ctx.medium,
+                        now,
+                        actor: self.index as u32,
+                        telemetry: &mut *ctx.telemetry,
+                    };
+                    self.dev.mac.mlme_wake(
+                        &mut air,
+                        MlmeWakeRequest {
+                            device: 0,
+                            open,
+                            close,
+                        },
+                    )
+                };
+                if let Some(bytes) = wake.downlink {
                     if let Some(f) = FeedbackFrame::decode(&bytes) {
                         if f.device_id == device_id {
-                            if let Some(a) = self.dev.adaptive.as_mut() {
-                                a.record_feedback(f.loss());
-                            }
+                            self.dev.mac.record_feedback(0, f.loss());
                             self.dev.feedback_received += 1;
                             ctx.emit("feedback_rx", device_id as u64);
                         }

@@ -50,6 +50,7 @@ use wile::registry::DeviceIdentity;
 use wile::reliability::{AdaptiveConfig, AdaptiveRepeat, RepeatPolicy};
 use wile::twoway::RxWindow;
 use wile_instrument::energy::energy_mj;
+use wile_mac::WileMac;
 use wile_radio::clock::DriftClock;
 use wile_radio::medium::{Medium, RadioConfig, RadioId};
 use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan};
@@ -312,13 +313,13 @@ impl CampaignReport {
 }
 
 /// One device's runtime state — shared by the kernel actor and the
-/// reference runner so both fold through the same [`summarize`].
+/// reference runner so both fold through the same [`summarize`]. The
+/// injector, radio binding, and repeat-policy state all live inside a
+/// single-device [`WileMac`] (ordinal 0); the fields left here are the
+/// scenario's own bookkeeping (drift clock, skew, message ledger).
 pub(crate) struct Dev {
-    pub(crate) inj: Injector,
-    pub(crate) radio: RadioId,
+    pub(crate) mac: WileMac,
     pub(crate) clock: DriftClock,
-    pub(crate) adaptive: Option<AdaptiveRepeat>,
-    pub(crate) static_policy: RepeatPolicy,
     pub(crate) applied_skew_ppm: f64,
     pub(crate) msg_count: u64,
     pub(crate) reports: Vec<InjectReport>,
@@ -331,32 +332,27 @@ pub(crate) struct Dev {
 
 impl Dev {
     pub(crate) fn policy(&self) -> RepeatPolicy {
-        match &self.adaptive {
-            Some(a) => a.policy(),
-            None => self.static_policy,
-        }
+        self.mac.policy(0)
     }
 
     /// Build device `i` of a campaign fleet: identity, drift clock, and
     /// adaptation state all derive from the config the same way in both
     /// runners.
     pub(crate) fn build(cfg: &CampaignConfig, i: usize, radio: RadioId) -> Dev {
-        let adaptive = match &cfg.mode {
-            AdaptMode::Static(_) => None,
-            AdaptMode::Feedback { cfg: a, .. } | AdaptMode::Blind(a) => {
-                Some(AdaptiveRepeat::new(*a))
-            }
-        };
-        let static_policy = match &cfg.mode {
-            AdaptMode::Static(p) => *p,
-            _ => RepeatPolicy::SINGLE,
-        };
-        Dev {
-            inj: Injector::new(DeviceIdentity::new(i as u32 + 1), Instant::ZERO),
+        let mut mac = WileMac::new();
+        mac.push_injector(
+            Injector::new(DeviceIdentity::new(i as u32 + 1), Instant::ZERO),
             radio,
+        );
+        match &cfg.mode {
+            AdaptMode::Static(p) => mac.set_static_policy(0, *p),
+            AdaptMode::Feedback { cfg: a, .. } | AdaptMode::Blind(a) => {
+                mac.set_adaptive(0, AdaptiveRepeat::new(*a))
+            }
+        }
+        Dev {
+            mac,
             clock: DriftClock::iot_grade(cfg.seed.wrapping_add(i as u64 * 7919)),
-            adaptive,
-            static_policy,
             applied_skew_ppm: 0.0,
             msg_count: 0,
             reports: Vec::new(),
@@ -505,10 +501,11 @@ pub(crate) fn summarize(
     for d in &devs {
         copies_sent += d.reports.len() as u64;
         feedback_received += d.feedback_received;
-        let model = d.inj.model();
+        let inj = d.mac.injector(0);
+        let model = inj.model();
         for r in &d.reports {
             let (from, to) = r.tx_window();
-            total_uj += energy_mj(d.inj.trace(), &model, from, to) * 1000.0;
+            total_uj += energy_mj(inj.trace(), &model, from, to) * 1000.0;
         }
     }
     let energy_uj_per_message = if messages_sent == 0 {
@@ -570,7 +567,7 @@ pub fn run_with_baseline_par(
     let mut base_cfg = cfg.clone();
     base_cfg.mode = AdaptMode::Static(RepeatPolicy::SINGLE);
     let arms = [cfg.clone(), base_cfg];
-    let mut reports = crate::engine::run_cells(2, workers, |i| run_campaign(&arms[i]));
+    let mut reports = wile_sim::engine::run_cells(2, workers, |i| run_campaign(&arms[i]));
     let baseline = reports.pop().expect("two arms");
     let adaptive = reports.pop().expect("two arms");
     (adaptive, baseline)
@@ -581,5 +578,5 @@ pub fn run_with_baseline_par(
 /// each serially — every cell owns its medium, clocks and fault
 /// timeline.
 pub fn run_campaigns(cfgs: &[CampaignConfig], workers: usize) -> Vec<CampaignReport> {
-    crate::engine::run_cells(cfgs.len(), workers, |i| run_campaign(&cfgs[i]))
+    wile_sim::engine::run_cells(cfgs.len(), workers, |i| run_campaign(&cfgs[i]))
 }

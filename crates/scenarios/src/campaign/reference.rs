@@ -98,7 +98,7 @@ pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
                 // windows, which always open after the current instant;
                 // waive everything older so it can be retired.
                 for d in &devs {
-                    medium.release(d.radio, t);
+                    medium.release(d.mac.radio(0), t);
                 }
                 if let Some(h) = ingest.gateway_mut().link_health_mut() {
                     evicted.extend(h.evict_stale(t));
@@ -106,9 +106,11 @@ pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
             }
             Ev::Copy { dev, seq } => {
                 let d = &mut devs[dev];
-                d.inj.sleep_until(t);
+                let radio = d.mac.radio(0);
+                let inj = d.mac.injector_mut(0);
+                inj.sleep_until(t);
                 let msg = Message::new(dev as u32 + 1, seq, PAYLOAD);
-                let rep = d.inj.inject_message(&mut medium, d.radio, &msg);
+                let rep = inj.inject_message(&mut medium, radio, &msg);
                 d.reports.push(rep);
             }
             Ev::Msg(dev) => {
@@ -125,7 +127,7 @@ pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
                 // Blind adaptation samples carrier sense at wake.
                 if matches!(cfg.mode, AdaptMode::Blind(_)) {
                     let busy = tl.air_busy(t);
-                    devs[dev].adaptive.as_mut().unwrap().observe_air_busy(busy);
+                    devs[dev].mac.observe_air_busy(0, busy);
                 }
                 let policy = devs[dev].policy();
                 let wants_feedback = match &cfg.mode {
@@ -151,8 +153,10 @@ pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
                     seq
                 } else {
                     let d = &mut devs[dev];
-                    d.inj.sleep_until(t);
-                    let rep = d.inj.inject(&mut medium, d.radio, PAYLOAD);
+                    let radio = d.mac.radio(0);
+                    let inj = d.mac.injector_mut(0);
+                    inj.sleep_until(t);
+                    let rep = inj.inject(&mut medium, radio, PAYLOAD);
                     let seq = rep.seq;
                     d.reports.push(rep);
                     seq
@@ -161,11 +165,7 @@ pub fn run_campaign_reference(cfg: &CampaignConfig) -> CampaignReport {
                 for j in 1..policy.copies {
                     queue.schedule(t + cfg.copy_spacing.mul(j as u64), Ev::Copy { dev, seq });
                 }
-                let backoff = devs[dev]
-                    .adaptive
-                    .as_ref()
-                    .map(|a| a.period_backoff())
-                    .unwrap_or(Duration::ZERO);
+                let backoff = devs[dev].mac.period_backoff(0);
                 let next = devs[dev].clock.wake_after(t, cfg.period + backoff);
                 if next <= end {
                     queue.schedule(next, Ev::Msg(dev));
@@ -195,17 +195,17 @@ fn run_feedback_round(
     tl: &mut FaultTimeline,
     t: Instant,
 ) -> (u16, Vec<Received>) {
-    d.inj.sleep_until(t);
-    let rep = d
-        .inj
-        .inject_twoway(medium, d.radio, PAYLOAD, FEEDBACK_WINDOW);
+    let radio = d.mac.radio(0);
+    let inj = d.mac.injector_mut(0);
+    inj.sleep_until(t);
+    let rep = inj.inject_twoway(medium, radio, PAYLOAD, FEEDBACK_WINDOW);
     let seq = rep.seq;
     let (open, close) = FEEDBACK_WINDOW.absolute(rep.t_tx_end);
     // Gateway side: catch up on arrivals (including this beacon, if the
     // channel let it through) and answer inside the window.
     let got = ingest.drain(medium, Some(tl), open);
 
-    let device_id = d.inj.identity().device_id;
+    let device_id = d.mac.injector(0).identity().device_id;
     let reply_at = open + Duration::from_us(300);
     let loss = ingest
         .gateway()
@@ -226,12 +226,14 @@ fn run_feedback_round(
         }
     }
     // Device listens through its announced window.
-    if let Some(bytes) = d.inj.listen_window(medium, d.radio, open, close) {
+    if let Some(bytes) = d
+        .mac
+        .injector_mut(0)
+        .listen_window(medium, radio, open, close)
+    {
         if let Some(f) = FeedbackFrame::decode(&bytes) {
             if f.device_id == device_id {
-                if let Some(a) = d.adaptive.as_mut() {
-                    a.record_feedback(f.loss());
-                }
+                d.mac.record_feedback(0, f.loss());
                 d.feedback_received += 1;
             }
         }

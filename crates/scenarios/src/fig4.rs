@@ -53,7 +53,7 @@ pub fn fig4_par(workers: usize) -> Fig4 {
     let t = crate::table1::table1_par(workers);
     let grid = default_grid();
     let sources = [&t.wifi_ps, &t.wifi_dc, &t.wile, &t.ble];
-    let curves = crate::engine::run_cells(sources.len(), workers, |i| curve(sources[i], &grid));
+    let curves = wile_sim::engine::run_cells(sources.len(), workers, |i| curve(sources[i], &grid));
     Fig4 {
         curves,
         intervals_min: grid,

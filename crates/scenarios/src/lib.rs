@@ -25,15 +25,15 @@
 //!   actors (differentially tested against the synchronous runner);
 //! * [`assoc`] — N duty-cycled WiFi clients re-associating on one
 //!   shared kernel medium, serialized by the air lease;
-//! * [`engine`] — the deterministic parallel run engine: independent
-//!   cells (campaign arms × seeds, sweep points, scenario rows) fanned
-//!   across a thread pool with index-ordered merging, byte-identical to
-//!   serial for any worker count (re-exported from `wile_sim::engine`,
-//!   where it moved so `wile-cluster` can shard aggregation rounds);
 //! * [`metro`] — the multi-gateway metro deployment on `wile-cluster`:
 //!   overlapping gateways, cross-gateway dedup with best-RSSI election,
 //!   roaming handoffs, bounded lane queues (experiment E11), with a
 //!   single-gateway reference runner as the differential oracle;
+//! * [`mixed`] — the mixed-protocol metro (experiment E15): one medium
+//!   simultaneously carrying the Wi-LE fleet, BLE advertising trains,
+//!   and WiFi migrants that switch protocol mid-run through MLME
+//!   primitives — every device behind the same `wile-mac` SAP,
+//!   composed via the kernel air lease;
 //! * [`chaos`] — the metro deployment under infrastructure chaos
 //!   (experiment E13): gateway crash/restart with checkpoint-based
 //!   recovery, backhaul partitions with bounded store-and-forward,
@@ -49,10 +49,10 @@ pub mod assoc;
 pub mod ble;
 pub mod campaign;
 pub mod chaos;
-pub mod engine;
 pub mod fig3;
 pub mod fig4;
 pub mod metro;
+pub mod mixed;
 pub mod report;
 pub mod scenario;
 pub mod session;

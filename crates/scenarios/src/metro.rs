@@ -31,6 +31,7 @@ use wile::registry::Registry;
 use wile_cluster::{ClusterConfig, ClusterDelivery, ClusterStats, GatewayCluster, RoamingConfig};
 use wile_dot11::mac::SeqControl;
 use wile_dot11::phy::{frame_airtime_us, PhyRate};
+use wile_mac::{AirCtx, MacSap, McpsDataRequest, WileMac};
 use wile_radio::channel::ChannelModel;
 use wile_radio::medium::{RadioConfig, RadioId, TxParams};
 use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
@@ -239,7 +240,7 @@ impl MetroConfig {
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -298,14 +299,41 @@ pub(crate) enum MetroEv {
     Poll,
 }
 
-/// The entire transmit-only fleet as one actor over a
-/// structure-of-arrays layout: the wake-hot per-device state (template,
-/// sequence number, sent tally) sits in parallel vectors indexed by the
-/// ordinal in [`MetroEv::Wake`], and the homogeneous payload buffer is
-/// shared fleet-wide. At a million devices this replaces a million
-/// boxed actors (pointer chase + cold fields per wake) with three
-/// dense array reads.
+/// The entire transmit-only fleet as one actor over a template-mode
+/// [`WileMac`]: the wake-hot per-device state (template, sequence
+/// number, sent tally) lives in the backend's parallel vectors indexed
+/// by the ordinal in [`MetroEv::Wake`], and the homogeneous payload
+/// buffer is shared fleet-wide — at a million devices this replaces a
+/// million boxed actors (pointer chase + cold fields per wake) with
+/// three dense array reads. Each wake is one MCPS-DATA.request issued
+/// through the SAP.
 struct MetroFleet {
+    mac: WileMac,
+    period: Duration,
+    end: Instant,
+}
+
+impl Actor<MetroEv> for MetroFleet {
+    fn on_event(&mut self, now: Instant, ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
+        let MetroEv::Wake(i) = ev else { return };
+        let mut air = AirCtx {
+            medium: &mut *ctx.medium,
+            now,
+            actor: i,
+            telemetry: &mut *ctx.telemetry,
+        };
+        self.mac.mcps_data(&mut air, McpsDataRequest::plain(i, &[]));
+        let next = now + self.period;
+        if next <= self.end {
+            ctx.schedule(next, ctx.self_id(), MetroEv::Wake(i));
+        }
+    }
+}
+
+/// The pre-SAP SoA fleet actor, retained verbatim as the differential
+/// oracle's device side: render and transmit directly against the
+/// medium, no service layer.
+struct DirectMetroFleet {
     radios: Vec<RadioId>,
     templates: Vec<BeaconTemplate>,
     seqs: Vec<u16>,
@@ -316,13 +344,13 @@ struct MetroFleet {
     end: Instant,
 }
 
-impl MetroFleet {
+impl DirectMetroFleet {
     fn total_sent(&self) -> u64 {
         self.sent.iter().map(|&s| s as u64).sum()
     }
 }
 
-impl Actor<MetroEv> for MetroFleet {
+impl Actor<MetroEv> for DirectMetroFleet {
     fn on_event(&mut self, now: Instant, ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
         let MetroEv::Wake(i) = ev else { return };
         let i = i as usize;
@@ -487,7 +515,70 @@ pub(crate) fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, 
 
     let end = Instant::ZERO + cfg.duration;
     let mut registry = Registry::new();
-    let mut fleet = MetroFleet {
+    let mut mac = WileMac::with_templates(vec![0u8; cfg.payload_len], cfg.device_power_dbm);
+    for i in 0..cfg.devices {
+        let radio = kernel.medium_mut().attach(RadioConfig {
+            position_m: cfg.device_position(i),
+            ..Default::default()
+        });
+        let device_id = i as u32 + 1;
+        let identity = wile::registry::DeviceIdentity::new(device_id);
+        mac.push_template(
+            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded"),
+            radio,
+        );
+        registry.add(identity);
+    }
+    let fleet_id = kernel.add_actor(MetroFleet {
+        mac,
+        period: cfg.period,
+        end,
+    });
+
+    // Stagger wakes uniformly across one period so arrivals never tie,
+    // scheduled as one batched train through the timer wheel.
+    let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
+    kernel.schedule_batch(
+        Instant::from_ms(500),
+        Duration::from_nanos(stagger_ns),
+        fleet_id,
+        (0..cfg.devices as u32).map(MetroEv::Wake),
+    );
+    (kernel, gw_radios, registry, fleet_id)
+}
+
+/// Sum of beacons sent, consuming the fleet actor.
+pub(crate) fn beacons_sent(kernel: &mut Kernel<MetroEv>, fleet: ActorId) -> u64 {
+    kernel.remove_actor::<MetroFleet>(fleet).mac.total_sent()
+}
+
+/// [`build_world`] over the retained pre-SAP fleet actor — the device
+/// side of the differential oracle.
+fn build_world_direct(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, Registry, ActorId) {
+    assert!(cfg.gateways >= 1 && cfg.devices >= 1);
+    assert!(cfg.gw_cols >= 1);
+    let model = ChannelModel {
+        shadowing_sigma_db: cfg.shadowing_sigma_db,
+        ..Default::default()
+    };
+    let mut kernel: Kernel<MetroEv> = Kernel::new(model, cfg.seed);
+    kernel.log_mut().set_enabled(false);
+    if let Some(plan) = &cfg.faults {
+        kernel.set_faults(FaultTimeline::new(plan.clone()));
+    }
+
+    let gw_radios: Vec<RadioId> = (0..cfg.gateways)
+        .map(|i| {
+            kernel.medium_mut().attach(RadioConfig {
+                position_m: cfg.gw_position(i),
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let end = Instant::ZERO + cfg.duration;
+    let mut registry = Registry::new();
+    let mut fleet = DirectMetroFleet {
         radios: Vec::with_capacity(cfg.devices),
         templates: Vec::with_capacity(cfg.devices),
         seqs: vec![0; cfg.devices],
@@ -511,8 +602,6 @@ pub(crate) fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, 
     }
     let fleet_id = kernel.add_actor(fleet);
 
-    // Stagger wakes uniformly across one period so arrivals never tie,
-    // scheduled as one batched train through the timer wheel.
     let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
     kernel.schedule_batch(
         Instant::from_ms(500),
@@ -523,9 +612,62 @@ pub(crate) fn build_world(cfg: &MetroConfig) -> (Kernel<MetroEv>, Vec<RadioId>, 
     (kernel, gw_radios, registry, fleet_id)
 }
 
-/// Sum of beacons sent, consuming the fleet actor.
-pub(crate) fn beacons_sent(kernel: &mut Kernel<MetroEv>, fleet: ActorId) -> u64 {
-    kernel.remove_actor::<MetroFleet>(fleet).total_sent()
+/// Run the metro deployment on the retained pre-SAP device loop — the
+/// differential oracle [`run_metro`] must reproduce byte for byte,
+/// digest included (`tests/sap_diff.rs`). Telemetry stays off; the
+/// cluster side is identical to [`run_metro`]'s.
+pub fn run_metro_direct(cfg: &MetroConfig, workers: usize) -> MetroReport {
+    let (mut kernel, gw_radios, mut registry, fleet) = build_world_direct(cfg);
+
+    let mut cluster = GatewayCluster::new(ClusterConfig {
+        queue_capacity: cfg.queue_capacity,
+        roaming: RoamingConfig::default(),
+        shards: 8,
+        stale_after: cfg.stale_after,
+        ..Default::default()
+    });
+    for radio in gw_radios {
+        cluster.add_gateway(GatewayIngest::new(radio, Gateway::new()));
+    }
+    let horizon = Instant::ZERO + cfg.duration + cfg.period;
+    let sink = kernel.add_actor(ClusterSink {
+        cluster,
+        workers,
+        poll_every: cfg.poll_every,
+        horizon,
+        keep: cfg.keep_deliveries,
+        deliveries: Vec::new(),
+        digest: FNV_OFFSET,
+        peak_live_tx: 0,
+        evicted: Vec::new(),
+    });
+    kernel.schedule(Instant::ZERO + cfg.poll_every, sink, MetroEv::Poll);
+
+    kernel.run();
+
+    let beacons = kernel.remove_actor::<DirectMetroFleet>(fleet).total_sent();
+    let sink = kernel.remove_actor::<ClusterSink>(sink);
+    let stats = sink.cluster.stats();
+    assert!(
+        stats.conserves_offered_load(),
+        "delivered + suppressions + drops must equal hears: {stats:?}"
+    );
+    for id in &sink.evicted {
+        registry.remove(*id);
+    }
+    MetroReport {
+        gateways: cfg.gateways,
+        devices: cfg.devices,
+        beacons_sent: beacons,
+        stats,
+        deliveries: sink.deliveries,
+        delivery_digest: sink.digest,
+        peak_live_tx: sink.peak_live_tx,
+        retired_tx: kernel.medium().retired_tx_count(),
+        evicted: sink.evicted,
+        registry_devices: registry.len(),
+        sim_end: kernel.now(),
+    }
 }
 
 /// Run the metro deployment through the cluster with up to `workers`
@@ -706,6 +848,13 @@ mod tests {
         assert_eq!(keys.len() as u64, report.stats.delivered);
         // The bounded medium stayed bounded.
         assert!(report.peak_live_tx < report.beacons_sent as usize / 4);
+    }
+
+    #[test]
+    fn sap_metro_matches_direct_runner() {
+        let a = run_metro(&MetroConfig::smoke(42), 1);
+        let b = run_metro_direct(&MetroConfig::smoke(42), 1);
+        assert_eq!(a, b);
     }
 
     #[test]

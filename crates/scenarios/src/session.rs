@@ -13,11 +13,18 @@
 //! (inject → gateway serve → device listen, cycle by cycle), their
 //! [`SessionOutcome`]s are equal for the same seed; the tests here
 //! assert that differentially against the synchronous loop.
+//!
+//! The device side speaks the MAC service layer: each uplink is one
+//! MCPS-DATA.request on a single-device [`WileMac`] (with a receive
+//! window on announce cycles), and each window read is one MLME-WAKE —
+//! the confirm carries the absolute window and the listened duration,
+//! so the actor keeps no injector state of its own.
 
 use wile::inject::Injector;
 use wile::registry::DeviceIdentity;
 use wile::session::{gateway_serve, uplink_payload, Command, CommandQueue, SessionOutcome};
 use wile::twoway::RxWindow;
+use wile_mac::{AirCtx, MacSap, McpsDataRequest, MlmeWakeRequest, WileMac};
 use wile_radio::medium::{RadioConfig, RadioId};
 use wile_radio::time::{Duration, Instant};
 use wile_sim::{Actor, ActorId, Ctx, Kernel};
@@ -65,8 +72,7 @@ enum SessionEv {
 }
 
 struct DeviceSession {
-    inj: Injector,
-    radio: RadioId,
+    mac: WileMac,
     gw: ActorId,
     cycles: usize,
     window_every: usize,
@@ -82,14 +88,25 @@ impl Actor<SessionEv> for DeviceSession {
         match ev {
             SessionEv::Wake { cycle } => {
                 let announce = (cycle + 1) % self.window_every == 0;
-                self.inj.sleep_until(now);
                 // Uplink: reading + echo of the last executed command.
                 let payload = uplink_payload(self.last_cmd, format!("r{cycle}").as_bytes());
-                let report = if announce {
-                    self.inj
-                        .inject_twoway(ctx.medium, self.radio, &payload, self.window)
-                } else {
-                    self.inj.inject(ctx.medium, self.radio, &payload)
+                let confirm = {
+                    let mut air = AirCtx {
+                        medium: &mut *ctx.medium,
+                        now,
+                        actor: 0,
+                        telemetry: &mut *ctx.telemetry,
+                    };
+                    self.mac.mcps_data(
+                        &mut air,
+                        McpsDataRequest {
+                            device: 0,
+                            payload: &payload,
+                            rx_window: announce.then_some(self.window),
+                            copies: 1,
+                            repeat_of: None,
+                        },
+                    )
                 };
                 // Same-instant follow-ups, FIFO-ordered: the gateway
                 // serves the uplink first, then (if announced) we come
@@ -97,11 +114,13 @@ impl Actor<SessionEv> for DeviceSession {
                 ctx.send(
                     self.gw,
                     SessionEv::Serve {
-                        up_to: report.t_tx_end + Duration::from_ms(1),
+                        up_to: confirm.t_tx_end + Duration::from_ms(1),
                     },
                 );
                 if announce {
-                    let (open, close) = self.window.absolute(report.t_tx_end);
+                    let (open, close) = confirm
+                        .rx_window
+                        .expect("a windowed request confirms with its absolute window");
                     let me = ctx.self_id();
                     ctx.send(me, SessionEv::Listen { open, close });
                 }
@@ -115,9 +134,24 @@ impl Actor<SessionEv> for DeviceSession {
                 }
             }
             SessionEv::Listen { open, close } => {
-                self.listen_total += close.since(open);
-                let downlink = self.inj.listen_window(ctx.medium, self.radio, open, close);
-                if let Some(bytes) = downlink {
+                let wake = {
+                    let mut air = AirCtx {
+                        medium: &mut *ctx.medium,
+                        now,
+                        actor: 0,
+                        telemetry: &mut *ctx.telemetry,
+                    };
+                    self.mac.mlme_wake(
+                        &mut air,
+                        MlmeWakeRequest {
+                            device: 0,
+                            open,
+                            close,
+                        },
+                    )
+                };
+                self.listen_total += wake.listened;
+                if let Some(bytes) = wake.downlink {
                     if let Some(cmd) = Command::parse(&bytes) {
                         self.last_cmd = cmd.id;
                         self.executed.push(cmd.id);
@@ -180,9 +214,13 @@ pub fn run_session_kernel(cfg: &SessionConfig) -> SessionOutcome {
         queue,
         uplinks: 0,
     });
+    let mut mac = WileMac::new();
+    mac.push_injector(
+        Injector::new(DeviceIdentity::new(cfg.device_id), Instant::ZERO),
+        dev_radio,
+    );
     let dev = kernel.add_actor(DeviceSession {
-        inj: Injector::new(DeviceIdentity::new(cfg.device_id), Instant::ZERO),
-        radio: dev_radio,
+        mac,
         gw,
         cycles: cfg.cycles,
         window_every: cfg.window_every,

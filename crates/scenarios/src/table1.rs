@@ -38,7 +38,7 @@ pub fn table1() -> Table1 {
 /// Each row simulates its own device and medium, so the assembled table
 /// is identical to the serial one for any worker count.
 pub fn table1_par(workers: usize) -> Table1 {
-    let mut rows = crate::engine::run_cells(4, workers, |i| match i {
+    let mut rows = wile_sim::engine::run_cells(4, workers, |i| match i {
         0 => wile_sc::table1_row(),
         1 => ble::table1_row(),
         2 => wifi_dc::table1_row(),

@@ -3,14 +3,19 @@
 //! ROADMAP's north star is millions of devices; the kernel's sparse
 //! time advancement is what makes the first four orders of magnitude
 //! cheap. This module runs N periodic Wi-LE beacon transmitters against
-//! one polling gateway with *no per-device MCU trace* — each device is
-//! a [`BeaconTemplate`] (the §5.4 precomputed-packet optimization) plus
-//! a handful of counters, and energy is attributed in closed form from
-//! one dry-run cycle. Combined with the bounded medium
-//! ([`Kernel`] default) and batch cursor release
-//! ([`wile_radio::Medium::release_all`]), a 10,000-device, 1-hour fleet
-//! completes in seconds with O(in-flight) medium memory — the numbers
-//! live in EXPERIMENTS.md E10.
+//! one polling gateway with *no per-device MCU trace* — the whole fleet
+//! is one template-mode [`WileMac`] (the §5.4 precomputed-packet
+//! optimization as a MAC backend), each wake is one MCPS-DATA.request,
+//! and energy is attributed in closed form from one dry-run cycle.
+//! Combined with the bounded medium ([`Kernel`] default) and batch
+//! cursor release ([`wile_radio::Medium::release_all`]), a
+//! 10,000-device, 1-hour fleet completes in seconds with O(in-flight)
+//! medium memory — the numbers live in EXPERIMENTS.md E10.
+//!
+//! The pre-SAP runner (device loop issuing `Medium::transmit` directly)
+//! is retained verbatim as [`run_fleet_direct`]; `tests/sap_diff.rs`
+//! proves [`run_fleet`] reproduces its [`FleetReport`] byte for byte
+//! across seeds.
 
 use crate::ingest::GatewayIngest;
 use crate::kernel::{Actor, ActorId, Ctx, Kernel};
@@ -21,6 +26,7 @@ use wile::registry::DeviceIdentity;
 use wile_dot11::mac::SeqControl;
 use wile_dot11::phy::{frame_airtime_us, PhyRate};
 use wile_instrument::energy::energy_mj;
+use wile_mac::{AirCtx, MacSap, McpsDataRequest, WileMac};
 use wile_radio::channel::ChannelModel;
 use wile_radio::medium::{Medium, RadioConfig, TxParams};
 use wile_radio::time::{Duration, Instant};
@@ -119,13 +125,151 @@ enum FleetEv {
 }
 
 /// Every transmit-only device in the fleet, as one actor over a
-/// structure-of-arrays layout: the per-device state a wake actually
-/// touches (template, sequence number, sent counter) lives in parallel
-/// vectors indexed by the device ordinal carried in
+/// template-mode [`WileMac`]: the per-device state a wake actually
+/// touches (template, sequence number, sent counter) lives in the
+/// backend's parallel vectors indexed by the device ordinal carried in
 /// [`FleetEv::Wake`], instead of a million boxed actors each with their
-/// own allocation, vtable, and cold private fields. The payload buffer
-/// is shared across the whole fleet (readings are homogeneous).
+/// own allocation, vtable, and cold private fields. Each wake is one
+/// MCPS-DATA.request issued through the SAP.
 struct FleetDevices {
+    mac: WileMac,
+    period: Duration,
+    end: Instant,
+}
+
+impl Actor<FleetEv> for FleetDevices {
+    fn on_event(&mut self, now: Instant, ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
+        let FleetEv::Wake(i) = ev else { return };
+        let mut air = AirCtx {
+            medium: &mut *ctx.medium,
+            now,
+            actor: i,
+            telemetry: &mut *ctx.telemetry,
+        };
+        self.mac.mcps_data(&mut air, McpsDataRequest::plain(i, &[]));
+        let next = now + self.period;
+        if next <= self.end {
+            ctx.schedule(next, ctx.self_id(), FleetEv::Wake(i));
+        }
+    }
+}
+
+/// The gateway: drain into indications, count, release, sample memory,
+/// repeat.
+struct GatewaySink {
+    ingest: GatewayIngest,
+    poll_every: Duration,
+    horizon: Instant,
+    delivered: u64,
+    peak_live_tx: usize,
+}
+
+impl Actor<FleetEv> for GatewaySink {
+    fn on_event(&mut self, now: Instant, _ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
+        let got = self
+            .ingest
+            .drain_indications(ctx.medium, ctx.faults.as_deref_mut(), now);
+        ctx.telemetry
+            .inc("mac.mcps_data.indication", &[], got.len() as u64);
+        self.delivered += got.len() as u64;
+        ctx.emit("poll_delivered", got.len() as u64);
+        // Everyone else is transmit-only: waive the history so the
+        // bounded medium can retire it.
+        ctx.medium.release_all(now);
+        self.peak_live_tx = self.peak_live_tx.max(ctx.medium.live_tx_count());
+        if now < self.horizon {
+            let next = (now + self.poll_every).min(self.horizon);
+            ctx.schedule(next, ctx.self_id(), FleetEv::Poll);
+        }
+    }
+}
+
+/// One dry wake-transmit cycle's energy, mJ (deterministic, so the
+/// fleet's transmit energy is `beacons × this`).
+fn per_beacon_energy_mj(payload_len: usize) -> f64 {
+    let mut medium = Medium::new(ChannelModel::default(), 0);
+    let radio = medium.attach(RadioConfig::default());
+    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
+    let rep = inj.inject(&mut medium, radio, &vec![0u8; payload_len]);
+    let (from, to) = rep.tx_window();
+    energy_mj(inj.trace(), &inj.model(), from, to)
+}
+
+/// Run a fleet through the kernel, all uplinks routed through the MAC
+/// service layer.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    assert!(cfg.devices >= 1);
+    let mut kernel: Kernel<FleetEv> = Kernel::new(ChannelModel::default(), cfg.seed);
+    // A million emits would dominate the run; the report carries the
+    // aggregates instead.
+    kernel.log_mut().set_enabled(false);
+
+    let gw_radio = kernel.medium_mut().attach(RadioConfig::default());
+    let end = Instant::ZERO + cfg.duration;
+    let horizon = end + cfg.period;
+
+    let mut mac = WileMac::with_templates(vec![0u8; cfg.payload_len], 0.0);
+    for i in 0..cfg.devices {
+        let angle = i as f64 / cfg.devices as f64 * std::f64::consts::TAU;
+        let radio = kernel.medium_mut().attach(RadioConfig {
+            position_m: (cfg.radius_m * angle.cos(), cfg.radius_m * angle.sin()),
+            ..Default::default()
+        });
+        let device_id = i as u32 + 1;
+        let identity = DeviceIdentity::new(device_id);
+        mac.push_template(
+            BeaconTemplate::new(identity.mac, device_id, cfg.payload_len).expect("payload bounded"),
+            radio,
+        );
+    }
+    let fleet: ActorId = kernel.add_actor(FleetDevices {
+        mac,
+        period: cfg.period,
+        end,
+    });
+    let gw = kernel.add_actor(GatewaySink {
+        ingest: GatewayIngest::new(gw_radio, Gateway::new()),
+        poll_every: cfg.poll_every,
+        horizon,
+        delivered: 0,
+        peak_live_tx: 0,
+    });
+
+    // Stagger wakes uniformly across one period, scheduled as one
+    // batched train through the timer wheel.
+    let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
+    kernel.schedule_batch(
+        Instant::from_ms(500),
+        Duration::from_nanos(stagger_ns),
+        fleet,
+        (0..cfg.devices as u32).map(FleetEv::Wake),
+    );
+    kernel.schedule(Instant::ZERO + cfg.poll_every, gw, FleetEv::Poll);
+
+    kernel.run();
+
+    let beacons_sent = kernel.remove_actor::<FleetDevices>(fleet).mac.total_sent();
+    let sink = kernel.remove_actor::<GatewaySink>(gw);
+    let stats = sink.ingest.gateway().stats();
+    FleetReport {
+        devices: cfg.devices,
+        beacons_sent,
+        messages_delivered: sink.delivered,
+        bad_fcs: stats.bad_fcs,
+        peak_live_tx: sink.peak_live_tx,
+        retired_tx: kernel.medium().retired_tx_count(),
+        tx_energy_mj: per_beacon_energy_mj(cfg.payload_len) * beacons_sent as f64,
+        sim_end: kernel.now(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frozen pre-SAP runner (differential oracle)
+// ---------------------------------------------------------------------
+
+/// The pre-SAP SoA fleet actor, retained verbatim: render and transmit
+/// directly against the medium, no service layer.
+struct DirectFleetDevices {
     radios: Vec<wile_radio::medium::RadioId>,
     templates: Vec<BeaconTemplate>,
     seqs: Vec<u16>,
@@ -135,13 +279,13 @@ struct FleetDevices {
     end: Instant,
 }
 
-impl FleetDevices {
+impl DirectFleetDevices {
     fn total_sent(&self) -> u64 {
         self.sent.iter().map(|&s| s as u64).sum()
     }
 }
 
-impl Actor<FleetEv> for FleetDevices {
+impl Actor<FleetEv> for DirectFleetDevices {
     fn on_event(&mut self, now: Instant, ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
         let FleetEv::Wake(i) = ev else { return };
         let i = i as usize;
@@ -167,57 +311,19 @@ impl Actor<FleetEv> for FleetDevices {
     }
 }
 
-/// The gateway: drain, count, release, sample memory, repeat.
-struct GatewaySink {
-    ingest: GatewayIngest,
-    poll_every: Duration,
-    horizon: Instant,
-    delivered: u64,
-    peak_live_tx: usize,
-}
-
-impl Actor<FleetEv> for GatewaySink {
-    fn on_event(&mut self, now: Instant, _ev: FleetEv, ctx: &mut Ctx<'_, FleetEv>) {
-        let got = self
-            .ingest
-            .drain(ctx.medium, ctx.faults.as_deref_mut(), now);
-        self.delivered += got.len() as u64;
-        ctx.emit("poll_delivered", got.len() as u64);
-        // Everyone else is transmit-only: waive the history so the
-        // bounded medium can retire it.
-        ctx.medium.release_all(now);
-        self.peak_live_tx = self.peak_live_tx.max(ctx.medium.live_tx_count());
-        if now < self.horizon {
-            let next = (now + self.poll_every).min(self.horizon);
-            ctx.schedule(next, ctx.self_id(), FleetEv::Poll);
-        }
-    }
-}
-
-/// One dry wake-transmit cycle's energy, mJ (deterministic, so the
-/// fleet's transmit energy is `beacons × this`).
-fn per_beacon_energy_mj(payload_len: usize) -> f64 {
-    let mut medium = Medium::new(ChannelModel::default(), 0);
-    let radio = medium.attach(RadioConfig::default());
-    let mut inj = Injector::new(DeviceIdentity::new(1), Instant::ZERO);
-    let rep = inj.inject(&mut medium, radio, &vec![0u8; payload_len]);
-    let (from, to) = rep.tx_window();
-    energy_mj(inj.trace(), &inj.model(), from, to)
-}
-
-/// Run a fleet through the kernel.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+/// Run the fleet on the retained pre-SAP device loop — the differential
+/// oracle [`run_fleet`] must reproduce byte for byte
+/// (`tests/sap_diff.rs`).
+pub fn run_fleet_direct(cfg: &FleetConfig) -> FleetReport {
     assert!(cfg.devices >= 1);
     let mut kernel: Kernel<FleetEv> = Kernel::new(ChannelModel::default(), cfg.seed);
-    // A million emits would dominate the run; the report carries the
-    // aggregates instead.
     kernel.log_mut().set_enabled(false);
 
     let gw_radio = kernel.medium_mut().attach(RadioConfig::default());
     let end = Instant::ZERO + cfg.duration;
     let horizon = end + cfg.period;
 
-    let mut devices = FleetDevices {
+    let mut devices = DirectFleetDevices {
         radios: Vec::with_capacity(cfg.devices),
         templates: Vec::with_capacity(cfg.devices),
         seqs: vec![0; cfg.devices],
@@ -247,8 +353,6 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         peak_live_tx: 0,
     });
 
-    // Stagger wakes uniformly across one period, scheduled as one
-    // batched train through the timer wheel.
     let stagger_ns = cfg.period.as_nanos() / cfg.devices as u64;
     kernel.schedule_batch(
         Instant::from_ms(500),
@@ -260,7 +364,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
 
     kernel.run();
 
-    let beacons_sent = kernel.remove_actor::<FleetDevices>(fleet).total_sent();
+    let beacons_sent = kernel
+        .remove_actor::<DirectFleetDevices>(fleet)
+        .total_sent();
     let sink = kernel.remove_actor::<GatewaySink>(gw);
     let stats = sink.ingest.gateway().stats();
     FleetReport {
@@ -306,6 +412,13 @@ mod tests {
     fn fleet_runs_are_deterministic() {
         let a = run_fleet(&FleetConfig::smoke(7));
         let b = run_fleet(&FleetConfig::smoke(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sap_fleet_matches_direct_runner() {
+        let a = run_fleet(&FleetConfig::smoke(42));
+        let b = run_fleet_direct(&FleetConfig::smoke(42));
         assert_eq!(a, b);
     }
 }

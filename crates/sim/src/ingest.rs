@@ -11,6 +11,7 @@
 //! compare orchestration, not two drain implementations.
 
 use wile::monitor::{Gateway, Received};
+use wile_mac::{MacProtocol, McpsDataIndication};
 use wile_radio::fault::FaultOutcome;
 use wile_radio::medium::{Medium, RadioId};
 use wile_radio::plan::FaultTimeline;
@@ -61,6 +62,22 @@ impl GatewayIngest {
         up_to: Instant,
     ) -> Vec<Received> {
         self.drain_when(medium, faults, up_to, |_| true)
+    }
+
+    /// [`drain`](GatewayIngest::drain), with every delivery lifted into
+    /// an MCPS-DATA.indication — the gateway-side face of the MAC
+    /// service layer (`wile-mac`). Counts are identical to `drain`'s;
+    /// the lift moves payloads, it never copies or filters.
+    pub fn drain_indications(
+        &mut self,
+        medium: &mut Medium,
+        faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+    ) -> Vec<McpsDataIndication> {
+        self.drain(medium, faults, up_to)
+            .into_iter()
+            .map(|r| McpsDataIndication::from_received(MacProtocol::Wile, r))
+            .collect()
     }
 
     /// [`drain`](GatewayIngest::drain) with an additional per-frame

@@ -16,7 +16,7 @@
 
 use std::time::Instant as WallInstant;
 use wile_scenarios::chaos::{run_chaos_with_telemetry, ChaosConfig};
-use wile_scenarios::engine::available_workers;
+use wile_sim::engine::available_workers;
 use wile_telemetry::Telemetry;
 
 /// Peak resident set size in MiB, if the platform exposes it.

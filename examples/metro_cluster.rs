@@ -14,8 +14,8 @@
 //! ```
 
 use std::time::Instant as WallInstant;
-use wile_scenarios::engine::available_workers;
 use wile_scenarios::metro::{run_metro_with_telemetry, MetroConfig};
+use wile_sim::engine::available_workers;
 use wile_telemetry::Telemetry;
 
 /// Peak resident set size in MiB, if the platform exposes it.

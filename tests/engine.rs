@@ -70,7 +70,7 @@ fn worker_env_override_is_respected() {
     // never the output. (Set per-process here; test binaries run tests
     // in one process, so keep the variable's lifetime to this test.)
     std::env::set_var("WILE_WORKERS", "3");
-    let n = wile_scenarios::engine::available_workers();
+    let n = wile_sim::engine::available_workers();
     std::env::remove_var("WILE_WORKERS");
     assert_eq!(n, 3);
 }

@@ -1,0 +1,184 @@
+//! Differential oracles for the MAC service layer (`wile-mac`).
+//!
+//! The SAP refactor re-routed every device-facing driver — fleet,
+//! metro, campaign, session, association — through MCPS/MLME
+//! primitives. Each driver retains its pre-refactor entry point
+//! verbatim (`run_*_direct`, the campaign's hand-rolled reference loop,
+//! the synchronous `wile::session::run_session`); this suite proves the
+//! SAP-routed runner reproduces it **byte for byte** — full reports,
+//! rendered text, and FNV-1a delivery digests — across seeds and worker
+//! counts. The service layer observes and routes; it must never steer.
+
+use wile_radio::time::Duration;
+use wile_scenarios::assoc::{run_assoc_fleet, run_assoc_fleet_direct, AssocConfig};
+use wile_scenarios::campaign::reference::run_campaign_reference;
+use wile_scenarios::campaign::{run_campaigns, AdaptMode, CampaignConfig};
+use wile_scenarios::metro::{run_metro, run_metro_direct, MetroConfig};
+use wile_scenarios::session::{run_session_kernel, SessionConfig};
+use wile_sim::fleet::{run_fleet, run_fleet_direct, FleetConfig};
+use wile_sim::ingest::GatewayIngest;
+
+const SEEDS: [u64; 3] = [42, 7, 9];
+const WORKERS: [usize; 3] = [1, 4, 8];
+
+#[test]
+fn sap_fleet_matches_direct_across_seeds() {
+    for seed in SEEDS {
+        let sap = run_fleet(&FleetConfig::smoke(seed));
+        let direct = run_fleet_direct(&FleetConfig::smoke(seed));
+        assert_eq!(sap, direct, "fleet diverged at seed {seed}");
+        assert!(sap.beacons_sent > 0);
+    }
+}
+
+#[test]
+fn sap_metro_matches_direct_across_seeds_and_workers() {
+    // The oracle configuration keeps the full delivery stream and runs
+    // a fault plan, so this compares every delivered byte — not just
+    // the digest — through the fault-filtered path too.
+    for seed in SEEDS {
+        let cfg = MetroConfig::oracle(seed);
+        let direct = run_metro_direct(&cfg, 1);
+        assert!(direct.stats.delivered > 0, "oracle delivered nothing");
+        for workers in WORKERS {
+            let sap = run_metro(&cfg, workers);
+            assert_eq!(
+                sap, direct,
+                "metro diverged at seed {seed}, workers {workers}"
+            );
+            assert_eq!(sap.delivery_digest, direct.delivery_digest);
+        }
+    }
+}
+
+#[test]
+fn sap_metro_matches_direct_multi_gateway() {
+    // Multi-gateway smoke world: dedup, handoffs, and bounded lanes all
+    // active on both sides.
+    for seed in SEEDS {
+        let cfg = MetroConfig::smoke(seed);
+        let sap = run_metro(&cfg, 4);
+        let direct = run_metro_direct(&cfg, 4);
+        assert_eq!(sap, direct, "multi-gateway metro diverged at seed {seed}");
+        assert!(sap.stats.handoffs > 0 || seed != 42, "{:?}", sap.stats);
+    }
+}
+
+#[test]
+fn sap_campaign_matches_reference_across_seeds_and_workers() {
+    // The kernel campaign issues every uplink, repeat copy, and
+    // feedback listen through the SAP; the reference drives the raw
+    // injector. Feedback mode exercises MCPS-DATA with an rx window
+    // plus MLME-WAKE.
+    let mode = AdaptMode::Feedback {
+        cfg: Default::default(),
+        every: 2,
+    };
+    for workers in WORKERS {
+        let cfgs: Vec<CampaignConfig> = SEEDS
+            .iter()
+            .map(|&seed| CampaignConfig::demo(seed, mode.clone()))
+            .collect();
+        let sap = run_campaigns(&cfgs, workers);
+        for (cfg, got) in cfgs.iter().zip(&sap) {
+            let want = run_campaign_reference(cfg);
+            assert_eq!(
+                got, &want,
+                "campaign diverged at seed {}, workers {workers}",
+                cfg.seed
+            );
+            assert_eq!(got.render(), want.render());
+        }
+    }
+}
+
+#[test]
+fn sap_session_matches_synchronous_runner_across_seeds() {
+    use wile::inject::Injector;
+    use wile::registry::DeviceIdentity;
+    use wile::session::CommandQueue;
+    use wile_radio::medium::{Medium, RadioConfig};
+    use wile_radio::time::Instant;
+
+    for seed in SEEDS {
+        let cfg = SessionConfig {
+            device_id: 9,
+            seed,
+            cycles: 8,
+            window_every: 2,
+            period: Duration::from_secs(10),
+            commands: (0..4).map(|i| format!("cmd{i}").into_bytes()).collect(),
+            gw_position_m: (2.0, 0.0),
+        };
+        // The synchronous pre-kernel session loop, world matched.
+        let mut medium = Medium::new(Default::default(), cfg.seed);
+        let dev = medium.attach(RadioConfig::default());
+        let gw = medium.attach(RadioConfig {
+            position_m: cfg.gw_position_m,
+            ..Default::default()
+        });
+        let mut inj = Injector::new(DeviceIdentity::new(cfg.device_id), Instant::ZERO);
+        let mut queue = CommandQueue::new();
+        for body in &cfg.commands {
+            queue.push(cfg.device_id, body);
+        }
+        let want = wile::session::run_session(
+            &mut medium,
+            dev,
+            gw,
+            &mut inj,
+            &mut queue,
+            cfg.cycles,
+            cfg.window_every,
+            cfg.period,
+        );
+        assert_eq!(
+            run_session_kernel(&cfg),
+            want,
+            "session diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn sap_assoc_matches_direct_across_seeds() {
+    for seed in SEEDS {
+        let sap = run_assoc_fleet(&AssocConfig::contended(seed));
+        let direct = run_assoc_fleet_direct(&AssocConfig::contended(seed));
+        assert_eq!(sap, direct, "assoc fleet diverged at seed {seed}");
+        assert_eq!(sap.connected, 6);
+    }
+}
+
+#[test]
+fn gateway_indications_preserve_drain_counts() {
+    // The gateway-side face: drain_indications lifts every delivery
+    // into an MCPS-DATA.indication without filtering or duplication.
+    use wile::inject::Injector;
+    use wile::monitor::Gateway;
+    use wile::registry::DeviceIdentity;
+    use wile_mac::MacProtocol;
+    use wile_radio::medium::{Medium, RadioConfig};
+    use wile_radio::time::Instant;
+
+    let mut medium = Medium::new(Default::default(), 11);
+    let gw_radio = medium.attach(RadioConfig::default());
+    let dev_radio = medium.attach(RadioConfig {
+        position_m: (2.0, 0.0),
+        ..Default::default()
+    });
+    let mut inj = Injector::new(DeviceIdentity::new(5), Instant::ZERO);
+    for _ in 0..3 {
+        inj.inject(&mut medium, dev_radio, b"reading");
+    }
+    let mut ingest = GatewayIngest::new(gw_radio, Gateway::new());
+    let got = ingest.drain_indications(&mut medium, None, Instant::from_secs(30));
+    assert_eq!(got.len(), 3);
+    for ind in &got {
+        assert_eq!(ind.protocol, MacProtocol::Wile);
+        assert_eq!(ind.device_id, 5);
+        assert_eq!(ind.payload, b"reading");
+    }
+    let seqs: Vec<u16> = got.iter().map(|i| i.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2]);
+}
