@@ -21,14 +21,30 @@
 //! (byte-identity asserted before timing, < 5% target) plus the E15
 //! mixed-protocol metro wall clock, written to `BENCH_8.json`.
 //!
+//! The PR-9 `gatewayd` section prices the ingestion service: sustained
+//! frames/s through the real loopback TCP transport (feeder → framed
+//! codec → daemon → cluster pipeline, digest asserted byte-identical
+//! to the in-process metro before timing) and the 10×-admission
+//! overload point with exact tail-drop accounting, written to
+//! `BENCH_9.json`.
+//!
 //! `WILE_BENCH_FAST=1` shrinks the workloads for CI smoke runs; the
 //! JSON notes which mode produced it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use wile::beacon::BeaconTemplate;
+use wile::registry::DeviceIdentity;
 use wile::reliability::{AdaptiveConfig, EnergyBudget, RepeatPolicy};
 use wile_cluster::{split_unified, ClusterDisturbance, PartitionPolicy, UnifiedPhase};
-use wile_radio::medium::{Medium, RadioConfig, TxParams};
+use wile_dot11::mac::SeqControl;
+use wile_gatewayd::capture::{capture_metro, replay_capture};
+use wile_gatewayd::daemon::{Daemon, DaemonOptions};
+use wile_gatewayd::feeder::{feed_capture, Pace};
+use wile_gatewayd::{GatewaydConfig, GatewaydCore, GatewaydReport};
+use wile_radio::medium::{Medium, RadioConfig, RadioId, RxFrame, TxParams};
 use wile_radio::naive::NaiveMedium;
 use wile_radio::time::{Duration, Instant};
 use wile_scenarios::campaign::reference::run_campaign_reference;
@@ -812,6 +828,218 @@ fn bench_sap(c: &mut Criterion) {
     println!("\nwrote {path}");
 }
 
+/// One full loopback pass: daemon on a real TCP listener, the feeder
+/// streaming the capture at max rate, returning the drained report.
+fn loopback_pass(capture: &[u8], workers: usize, keep_deliveries: bool) -> GatewaydReport {
+    wile_gatewayd::signal::reset_stop();
+    let mut daemon = Daemon::new(
+        DaemonOptions {
+            workers,
+            keep_deliveries,
+            config: None,
+        },
+        None,
+    )
+    .expect("daemon");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || daemon.serve_tcp(listener).expect("serve"));
+    let mut conn = TcpStream::connect(addr).expect("connect daemon");
+    feed_capture(capture, &mut conn, Pace::MaxRate).expect("feed");
+    drop(conn);
+    server.join().expect("server thread")
+}
+
+/// The 10×-admission overload schedule: per lane and poll window,
+/// `per_window` distinct (device, seq) beacons with strictly increasing
+/// stamps inside the window, each heard by exactly one lane — so dedup
+/// suppressions stay zero and the tail-drop arithmetic is exact.
+fn overload_frames(
+    lanes: usize,
+    per_window: usize,
+    windows: u64,
+    poll: Duration,
+) -> Vec<(u32, RxFrame)> {
+    let mut templates: Vec<Vec<BeaconTemplate>> = (0..lanes)
+        .map(|lane| {
+            (0..per_window)
+                .map(|slot| {
+                    let device_id = (lane * 100_000 + slot + 1) as u32;
+                    let identity = DeviceIdentity::new(device_id);
+                    BeaconTemplate::new(identity.mac, device_id, 4).expect("small payload")
+                })
+                .collect()
+        })
+        .collect();
+    let window_ns = poll.as_nanos();
+    let step_ns = window_ns / (per_window as u64 + 1);
+    let mut frames = Vec::with_capacity(lanes * per_window * windows as usize);
+    for window in 0..windows {
+        for slot in 0..per_window {
+            let at = Instant::from_nanos(window * window_ns + (slot as u64 + 1) * step_ns);
+            for (lane, lane_templates) in templates.iter_mut().enumerate() {
+                let seq = window as u16;
+                let bytes = lane_templates[slot].render(
+                    seq,
+                    SeqControl::new(seq & 0x0FFF, 0),
+                    &(slot as u32).to_le_bytes(),
+                );
+                frames.push((
+                    lane as u32,
+                    RxFrame {
+                        at,
+                        from: RadioId(1_000_000 + lane as u32),
+                        rssi_dbm: -55.0,
+                        snr_db: 25.0,
+                        bytes: Arc::from(&bytes[..]),
+                    },
+                ));
+            }
+        }
+    }
+    frames
+}
+
+fn bench_gatewayd(c: &mut Criterion) {
+    let fast = fast();
+    let reps = if fast { 1 } else { 3 };
+    let workers = wile_sim::engine::available_workers();
+
+    // --- loopback throughput: feeder → TCP → codec → cluster ---------
+    wile_bench::banner("gatewayd loopback (sustained frames/s over TCP)");
+    let cfg = if fast {
+        MetroConfig::smoke(42)
+    } else {
+        cluster_cell(4, 2_000)
+    };
+    let (metro, capture, frames) = capture_metro(&cfg, 1, Vec::new()).expect("capture metro");
+    // Byte-identity witness before timing: the transport must reproduce
+    // the in-process run exactly, at the bench worker count.
+    let witness = loopback_pass(&capture, workers, cfg.keep_deliveries);
+    assert!(
+        witness.matches_metro(&metro),
+        "loopback transport diverged from the in-process metro run"
+    );
+    assert!(witness.frames_ledger_closes());
+    let loopback_s = median_s(reps, || {
+        loopback_pass(&capture, workers, cfg.keep_deliveries).delivery_digest
+    });
+    let frames_per_s = frames as f64 / loopback_s;
+    println!(
+        "{} gateways × {} devices: {frames} frames in {loopback_s:.3} s \
+         ({frames_per_s:.0} frames/s sustained, digest {:#018x})",
+        cfg.gateways, cfg.devices, metro.delivery_digest,
+    );
+
+    // --- overload point: 10× admission, exact tail-drop books --------
+    wile_bench::banner("gatewayd overload (10× admission tail-drop accounting)");
+    const LANES: usize = 2;
+    const QUEUE_CAP: usize = 50;
+    const PER_WINDOW: usize = QUEUE_CAP * 10;
+    const WINDOWS: u64 = 4;
+    let poll = Duration::from_secs(10);
+    let overload_cfg = GatewaydConfig {
+        gateways: LANES,
+        queue_capacity: Some(QUEUE_CAP),
+        poll_every: poll,
+        stale_after: Duration::from_secs(3600),
+        horizon: Instant::from_secs(WINDOWS * poll.as_nanos() / 1_000_000_000),
+        keep_deliveries: false,
+        workers: 1,
+        log_polls: false,
+    };
+    let schedule = overload_frames(LANES, PER_WINDOW, WINDOWS, poll);
+    let offered = schedule.len() as u64;
+    let overload_s = median_s(reps, || {
+        let mut core = GatewaydCore::new(overload_cfg.clone());
+        let mut out = Vec::new();
+        for (lane, frame) in schedule.iter().cloned() {
+            core.offer(lane, frame, &mut out).expect("clean schedule");
+        }
+        // finish() asserts the conservation law and the frame ledger.
+        core.finish(&mut out).stats.total_drops()
+    });
+    let mut core = GatewaydCore::new(overload_cfg.clone());
+    let mut out = Vec::new();
+    for (lane, frame) in schedule.iter().cloned() {
+        core.offer(lane, frame, &mut out).expect("clean schedule");
+    }
+    let overload = core.finish(&mut out);
+    let hears = overload.stats.total_hears();
+    let delivered = overload.stats.delivered;
+    let drops = overload.stats.total_drops();
+    assert_eq!(hears, offered);
+    assert_eq!(delivered, (LANES * QUEUE_CAP) as u64 * WINDOWS);
+    assert_eq!(drops, hears - delivered, "one hearer per frame, no faults");
+    println!(
+        "{offered} offered at 10× admission: {delivered} delivered, {drops} tail-dropped \
+         in {overload_s:.3} s — books close to the frame"
+    );
+
+    // Criterion-visible point: replaying a smoke capture through the
+    // deterministic core (no transport), the floor the TCP path chases.
+    let (_, smoke_capture, _) =
+        capture_metro(&MetroConfig::smoke(42), 1, Vec::new()).expect("capture smoke");
+    let mut g = c.benchmark_group("gatewayd");
+    g.sample_size(10);
+    g.bench_function("replay_smoke", |b| {
+        b.iter(|| {
+            black_box(
+                replay_capture(&smoke_capture, false, 1)
+                    .expect("replay")
+                    .delivery_digest,
+            )
+        })
+    });
+    g.finish();
+
+    let json = Json::obj()
+        .field("pr", Json::int(9))
+        .field("fast_mode", Json::Bool(fast))
+        .field("workers", Json::int(workers as u64))
+        .field(
+            "note",
+            Json::str(
+                "wile-gatewayd ingestion service: sustained frames/s through the real \
+                 loopback TCP transport (wile-feeder pacing a recorded .wcap at max rate \
+                 into the daemon's framed codec and cluster pipeline), digest asserted \
+                 byte-identical to the in-process metro before timing. The overload point \
+                 drives 10x the per-window queue admission through GatewaydCore and checks \
+                 the extended conservation law closes with exact tail-drop arithmetic",
+            ),
+        )
+        .field(
+            "loopback",
+            Json::obj()
+                .field("gateways", Json::int(cfg.gateways as u64))
+                .field("devices", Json::int(cfg.devices as u64))
+                .field("frames", Json::int(frames))
+                .field("wall_s", Json::Num((loopback_s * 1e4).round() / 1e4))
+                .field("frames_per_s", Json::Num(frames_per_s.round()))
+                .field(
+                    "delivery_digest",
+                    Json::str(format!("{:#018x}", metro.delivery_digest)),
+                ),
+        )
+        .field(
+            "overload",
+            Json::obj()
+                .field("lanes", Json::int(LANES as u64))
+                .field("queue_capacity", Json::int(QUEUE_CAP as u64))
+                .field("admission_multiple", Json::int(10))
+                .field("windows", Json::int(WINDOWS))
+                .field("hears", Json::int(hears))
+                .field("delivered", Json::int(delivered))
+                .field("queue_drops", Json::int(drops))
+                .field("shed", Json::int(overload.stats.total_shed()))
+                .field("conserves_offered_load", Json::Bool(true))
+                .field("wall_s", Json::Num((overload_s * 1e4).round() / 1e4)),
+        );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path, json.render() + "\n").expect("write BENCH_9.json");
+    println!("\nwrote {path}");
+}
+
 criterion_group!(
     benches,
     bench_perf,
@@ -819,6 +1047,7 @@ criterion_group!(
     bench_telemetry,
     bench_chaos,
     bench_scale,
-    bench_sap
+    bench_sap,
+    bench_gatewayd
 );
 criterion_main!(benches);

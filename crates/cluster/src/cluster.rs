@@ -28,8 +28,8 @@ use crate::faults::{ClusterFaultPlan, CrashEdge, PartitionPolicy};
 use crate::queue::ReportQueue;
 use crate::report::{ClusterDelivery, GatewayReport};
 use std::collections::VecDeque;
-use wile::monitor::GatewaySnapshot;
-use wile_radio::medium::Medium;
+use wile::monitor::{GatewaySnapshot, Received};
+use wile_radio::medium::{Medium, RxFrame};
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::{Duration, Instant};
 use wile_sim::ingest::GatewayIngest;
@@ -141,6 +141,11 @@ struct Lane {
     /// Last checkpoint of this lane's gateway state.
     checkpoint: Option<GatewaySnapshot>,
 }
+
+/// Observation tap on the raw per-lane frame stream: lane index plus
+/// the frame, in drain order, before admission predicates or fault
+/// timelines touch it.
+pub type LaneTap<'a> = &'a mut dyn FnMut(usize, &RxFrame);
 
 /// A sharded multi-gateway ingestion cluster. See the module docs for
 /// the pipeline shape and determinism contract.
@@ -287,10 +292,87 @@ impl GatewayCluster {
     pub fn poll(
         &mut self,
         medium: &mut Medium,
+        faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+        workers: usize,
+    ) -> Vec<ClusterDelivery> {
+        self.poll_tapped(medium, faults, up_to, workers, None)
+    }
+
+    /// [`poll`](GatewayCluster::poll) with an observation tap invoked on
+    /// every raw frame each lane pulls off the medium (lane index +
+    /// frame, before admission predicates or fault timelines touch it).
+    /// This is the `.wcap` capture hook: the tap sees the byte-exact
+    /// per-lane air stream in drain order and never perturbs the poll —
+    /// `poll` is literally this with `tap = None`.
+    pub fn poll_tapped(
+        &mut self,
+        medium: &mut Medium,
+        mut faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+        workers: usize,
+        mut tap: Option<LaneTap<'_>>,
+    ) -> Vec<ClusterDelivery> {
+        self.poll_with(up_to, workers, |ingest, idx, to, plan| {
+            let mut shim = tap.as_mut().map(|t| move |f: &RxFrame| t(idx, f));
+            ingest.drain_when_tapped(
+                medium,
+                faults.as_deref_mut(),
+                to,
+                |t| !plan.lane_down(idx, t),
+                shim.as_mut().map(|s| s as &mut dyn FnMut(&RxFrame)),
+            )
+        })
+    }
+
+    /// [`poll`](GatewayCluster::poll) without a [`Medium`]: each lane
+    /// drains from its caller-owned staged buffer instead of a radio
+    /// inbox. This is the ingestion-service entry point — a daemon that
+    /// receives byte-exact frames over a socket stages them per lane
+    /// and polls here, and the downstream pipeline (fault segmentation,
+    /// bounded queues, aggregation) is the *same code* the in-process
+    /// scenarios run, so replaying a capture reproduces them
+    /// byte-for-byte.
+    ///
+    /// Frames with `at <= up_to` are consumed from the front of each
+    /// lane's deque; later frames stay for a future poll. Buffers must
+    /// hold frames in non-decreasing `at` order per lane (the order a
+    /// radio inbox yields them) — a frame behind an earlier-stamped one
+    /// would otherwise be drained in a different order than the medium
+    /// path, and byte-identity is the whole point.
+    ///
+    /// `staged` must have exactly one deque per lane.
+    pub fn poll_staged(
+        &mut self,
+        staged: &mut [VecDeque<RxFrame>],
         mut faults: Option<&mut FaultTimeline>,
         up_to: Instant,
         workers: usize,
     ) -> Vec<ClusterDelivery> {
+        assert_eq!(staged.len(), self.lanes.len(), "one staged buffer per lane");
+        self.poll_with(up_to, workers, |ingest, idx, to, plan| {
+            let q = &mut staged[idx];
+            let frames = std::iter::from_fn(|| {
+                if q.front().is_some_and(|f| f.at <= to) {
+                    q.pop_front()
+                } else {
+                    None
+                }
+            });
+            ingest.ingest_when(frames, faults.as_deref_mut(), |t| !plan.lane_down(idx, t))
+        })
+    }
+
+    /// The shared poll body: window segmentation, crash/restart/
+    /// checkpoint transitions, partition parking, overload admission,
+    /// and the aggregation round — generic over where each lane's raw
+    /// frames come from. `drain(ingest, lane, to, plan)` must consume
+    /// every frame arriving by `to` for that lane and return the
+    /// gateway-pipeline survivors.
+    fn poll_with<D>(&mut self, up_to: Instant, workers: usize, mut drain: D) -> Vec<ClusterDelivery>
+    where
+        D: FnMut(&mut GatewayIngest, usize, Instant, &ClusterFaultPlan) -> Vec<Received>,
+    {
         let prev = self.last_poll;
         self.last_poll = Some(up_to);
         let plan = self.faults.clone().unwrap_or_default();
@@ -342,18 +424,15 @@ impl GatewayCluster {
             // path, so the shared air-side fault timeline sees the
             // exact same sequence — byte-identity with faults=None
             // holds even when air and infra plans run together.
-            let mut drain_to =
-                |lane: &mut Lane, to: Instant, air: &mut Option<&mut FaultTimeline>| {
-                    let got = lane
-                        .ingest
-                        .drain_when(medium, air.as_deref_mut(), to, |t| !plan.lane_down(idx, t));
-                    for r in got {
-                        lane.hears += 1;
-                        let report = GatewayReport::from_received(idx, *next_ordinal, r);
-                        *next_ordinal += 1;
-                        lane.queue.push(report);
-                    }
-                };
+            let mut drain_to = |lane: &mut Lane, to: Instant| {
+                let got = drain(&mut lane.ingest, idx, to, &plan);
+                for r in got {
+                    lane.hears += 1;
+                    let report = GatewayReport::from_received(idx, *next_ordinal, r);
+                    *next_ordinal += 1;
+                    lane.queue.push(report);
+                }
+            };
             for &(at, kind, lane_idx) in &steps {
                 let lane = &mut lanes[idx];
                 match kind {
@@ -374,7 +453,7 @@ impl GatewayCluster {
                             lane: idx,
                             event: LaneEvent::Up { restored },
                         });
-                        drain_to(lane, at, &mut faults);
+                        drain_to(lane, at);
                     }
                     STEP_CRASH if lane_idx == idx => {
                         // Frames strictly before the crash reach the
@@ -382,7 +461,7 @@ impl GatewayCluster {
                         // is already inside the (start-inclusive)
                         // window and is discarded by the admit
                         // predicate.
-                        drain_to(lane, at, &mut faults);
+                        drain_to(lane, at);
                         let lane = &mut lanes[idx];
                         let lost = (lane.queue.len() + lane.backhaul.len()) as u64;
                         lane.queue.clear();
@@ -399,7 +478,7 @@ impl GatewayCluster {
                         });
                     }
                     STEP_CHECKPOINT => {
-                        drain_to(lane, at, &mut faults);
+                        drain_to(lane, at);
                         let lane = &mut lanes[idx];
                         if !lane.down {
                             lane.checkpoint = Some(lane.ingest.gateway().snapshot());
@@ -415,7 +494,7 @@ impl GatewayCluster {
                 }
             }
             let lane = &mut lanes[idx];
-            drain_to(lane, up_to, &mut faults);
+            drain_to(lane, up_to);
 
             // Backhaul resolution, evaluated at poll boundaries (flush
             // attempts happen when the lane tries to reach the

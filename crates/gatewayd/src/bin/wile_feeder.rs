@@ -1,0 +1,129 @@
+//! `wile-feeder` — stream a `.wcap` capture into a running
+//! `wile-gatewayd`.
+//!
+//! ```text
+//! wile-feeder --capture FILE (--connect ADDR | --stdout)
+//!             [--wall-clock SPEEDUP]
+//!
+//!   --capture FILE       the .wcap capture to stream (required)
+//!   --connect ADDR       TCP address of a listening wile-gatewayd
+//!   --stdout             write the framed stream to stdout (pipe
+//!                        mode: wile-feeder ... | wile-gatewayd --stdin)
+//!   --wall-clock SPEEDUP pace frames by their simulated gaps divided
+//!                        by SPEEDUP (default: max rate)
+//! ```
+//!
+//! The feeder appends an `Advance` watermark to the capture's horizon
+//! and a `Shutdown` record, so the receiving daemon drains and reports
+//! when the stream ends.
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wile_gatewayd::feeder::{feed_capture, Pace};
+
+struct Args {
+    capture: PathBuf,
+    connect: Option<String>,
+    stdout: bool,
+    pace: Pace,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut capture = None;
+    let mut connect = None;
+    let mut stdout = false;
+    let mut pace = Pace::MaxRate;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match a.as_str() {
+            "--capture" => capture = Some(PathBuf::from(value("--capture")?)),
+            "--connect" => connect = Some(value("--connect")?),
+            "--stdout" => stdout = true,
+            "--wall-clock" => {
+                let speedup: f64 = value("--wall-clock")?
+                    .parse()
+                    .map_err(|e| format!("--wall-clock: {e}"))?;
+                if speedup <= 0.0 {
+                    return Err("--wall-clock requires a positive speedup".to_string());
+                }
+                pace = Pace::WallClock { speedup };
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let capture = capture.ok_or("--capture is required")?;
+    if connect.is_some() == stdout {
+        return Err("pick exactly one of --connect ADDR or --stdout".to_string());
+    }
+    Ok(Args {
+        capture,
+        connect,
+        stdout,
+        pace,
+    })
+}
+
+const USAGE: &str =
+    "usage: wile-feeder --capture FILE (--connect ADDR | --stdout) [--wall-clock SPEEDUP]";
+
+fn run(args: Args) -> io::Result<()> {
+    let bytes = std::fs::read(&args.capture)?;
+    let start = std::time::Instant::now();
+    let summary = if args.stdout {
+        let out = io::stdout();
+        let mut lock = io::BufWriter::new(out.lock());
+        let s = feed_capture(&bytes, &mut lock, args.pace)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        lock.flush()?;
+        s
+    } else {
+        let addr = args.connect.as_deref().expect("checked in parse");
+        let mut stream = io::BufWriter::new(TcpStream::connect(addr)?);
+        let s = feed_capture(&bytes, &mut stream, args.pace)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        stream.flush()?;
+        s
+    };
+    let elapsed = start.elapsed();
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        summary.frames as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "wile-feeder: {} frames, {} bytes in {:.3}s ({:.0} frames/s)",
+        summary.frames,
+        summary.bytes,
+        elapsed.as_secs_f64(),
+        rate
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("wile-feeder: {e}");
+            }
+            eprintln!("{USAGE}");
+            return if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("wile-feeder: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

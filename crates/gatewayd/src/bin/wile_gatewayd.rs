@@ -1,0 +1,185 @@
+//! `wile-gatewayd` — the Wi-LE ingestion daemon.
+//!
+//! ```text
+//! wile-gatewayd [MODE] [OPTIONS]
+//!
+//! Modes (exactly one):
+//!   --listen ADDR       accept framed connections on a TCP address
+//!                       (default: 127.0.0.1:7700)
+//!   --unix PATH         accept framed connections on a Unix socket
+//!   --stdin             read one framed stream from stdin
+//!   --replay FILE       replay a .wcap capture file and exit
+//!
+//! Options:
+//!   --scrape ADDR       serve /metrics, /healthz, /report on ADDR
+//!   --trace FILE        stream the JSONL run trace to FILE
+//!   --workers N         aggregation worker threads (default 1;
+//!                       results are identical at any setting)
+//!   --keep-deliveries   retain the full delivery stream in the report
+//! ```
+//!
+//! The daemon runs until a `Shutdown` record, end of input, SIGTERM,
+//! or SIGINT — then drains every staged frame through the remaining
+//! poll train, prints the final report, and exits 0.
+
+use std::io;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wile_gatewayd::daemon::{Daemon, DaemonOptions};
+use wile_gatewayd::scrape::ScrapeServer;
+use wile_gatewayd::signal;
+use wile_gatewayd::GatewaydReport;
+
+enum Mode {
+    Listen(String),
+    #[cfg(unix)]
+    Unix(PathBuf),
+    Stdin,
+    Replay(PathBuf),
+}
+
+struct Args {
+    mode: Mode,
+    scrape: Option<String>,
+    trace: Option<PathBuf>,
+    workers: usize,
+    keep_deliveries: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        mode: Mode::Listen("127.0.0.1:7700".to_string()),
+        scrape: None,
+        trace: None,
+        workers: 1,
+        keep_deliveries: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match a.as_str() {
+            "--listen" => args.mode = Mode::Listen(value("--listen")?),
+            #[cfg(unix)]
+            "--unix" => args.mode = Mode::Unix(PathBuf::from(value("--unix")?)),
+            "--stdin" => args.mode = Mode::Stdin,
+            "--replay" => args.mode = Mode::Replay(PathBuf::from(value("--replay")?)),
+            "--scrape" => args.scrape = Some(value("--scrape")?),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--keep-deliveries" => args.keep_deliveries = true,
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "usage: wile-gatewayd [--listen ADDR | --unix PATH | --stdin | --replay FILE]
+                     [--scrape ADDR] [--trace FILE] [--workers N] [--keep-deliveries]";
+
+fn print_report(r: &GatewaydReport) {
+    println!("wile-gatewayd: run complete");
+    println!("  gateways        {}", r.gateways);
+    println!(
+        "  frames          {} in / {} rejected / {} late",
+        r.frames_in, r.rejected, r.late
+    );
+    println!("  polls           {}", r.polls);
+    println!(
+        "  delivered       {} ({} handoffs, {} evicted)",
+        r.stats.delivered,
+        r.stats.handoffs,
+        r.evicted.len()
+    );
+    println!(
+        "  queue           {} drops, high water {}",
+        r.stats.total_drops(),
+        r.stats.max_queue_high_water()
+    );
+    println!("  digest          {:#018x}", r.delivery_digest);
+    println!("  sim end         {} ns", r.sim_end.as_nanos());
+    println!(
+        "  ledger          {}",
+        if r.frames_ledger_closes() {
+            "closed (nothing lost)"
+        } else {
+            "OPEN — accounting violated"
+        }
+    );
+}
+
+fn run(args: Args) -> io::Result<GatewaydReport> {
+    let trace: Option<Box<dyn io::Write + Send>> = match &args.trace {
+        Some(p) => Some(Box::new(io::BufWriter::new(std::fs::File::create(p)?))),
+        None => None,
+    };
+    let opts = DaemonOptions {
+        workers: args.workers,
+        keep_deliveries: args.keep_deliveries,
+        config: None,
+    };
+    let mut daemon = Daemon::new(opts, trace)?;
+    let scrape = match &args.scrape {
+        Some(addr) => {
+            let s = ScrapeServer::start(addr, daemon.state())?;
+            eprintln!("wile-gatewayd: scrape endpoint on http://{}", s.addr());
+            Some(s)
+        }
+        None => None,
+    };
+    let report = match args.mode {
+        Mode::Listen(addr) => {
+            let listener = TcpListener::bind(&addr)?;
+            eprintln!("wile-gatewayd: listening on {}", listener.local_addr()?);
+            daemon.serve_tcp(listener)
+        }
+        #[cfg(unix)]
+        Mode::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path)?;
+            eprintln!("wile-gatewayd: listening on {}", path.display());
+            let report = daemon.serve_unix(listener);
+            let _ = std::fs::remove_file(&path);
+            report
+        }
+        Mode::Stdin => daemon.serve_reader(io::stdin().lock()),
+        Mode::Replay(path) => daemon.serve_path(&path),
+    }?;
+    if let Some(s) = scrape {
+        s.shutdown();
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("wile-gatewayd: {e}");
+            }
+            eprintln!("{USAGE}");
+            return if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    signal::install_stop_handler();
+    match run(args) {
+        Ok(report) => {
+            print_report(&report);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wile-gatewayd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,588 @@
+//! The deterministic heart of `wile-gatewayd`: a pure, IO-free state
+//! machine that accepts byte-exact [`RxFrame`]s stamped into lanes and
+//! drives them through the identical `GatewayIngest → ReportQueue →
+//! ClusterAggregator` pipeline the in-process scenarios run.
+//!
+//! [`GatewaydCore`] never reads a clock, a socket, or a file. Time
+//! advances only through the frames' own arrival stamps and explicit
+//! [`advance_to`](GatewaydCore::advance_to) watermarks; the daemon
+//! shell owns all IO and feeds the core. That split is what makes
+//! replay exact: the same record stream produces the same poll train,
+//! the same aggregation batches, the same deliveries, the same digest —
+//! byte for byte, asserted against the in-process cluster by
+//! `tests/gatewayd_diff.rs`.
+//!
+//! The poll train mirrors the metro scenario's `ClusterSink` precisely:
+//! the first poll is due at `ZERO + poll_every` unconditionally, each
+//! poll at `t` reschedules `(t + poll_every).min(horizon)` while
+//! `t < horizon`, and the final poll lands exactly on the horizon.
+//! Within a poll the order is: drain staged lanes → fold deliveries
+//! into the digest → retain → evict stale devices. Any deviation would
+//! shift an aggregation batch boundary and change an election.
+
+use crate::wire::WcapHeader;
+use std::collections::VecDeque;
+use std::fmt;
+use wile::monitor::{Gateway, GatewayStats};
+use wile_cluster::{ClusterConfig, ClusterDelivery, ClusterStats, GatewayCluster, RoamingConfig};
+use wile_radio::medium::{RadioId, RxFrame};
+use wile_radio::time::{Duration, Instant};
+use wile_scenarios::metro::{fold_delivery, MetroReport, FNV_OFFSET};
+use wile_sim::ingest::GatewayIngest;
+use wile_telemetry::{LabelValue, Registry};
+
+/// World parameters the core needs to reproduce a scenario's pipeline.
+#[derive(Debug, Clone)]
+pub struct GatewaydConfig {
+    /// Cluster lane count.
+    pub gateways: usize,
+    /// Per-lane report queue bound (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// Poll cadence.
+    pub poll_every: Duration,
+    /// Stale-device eviction horizon.
+    pub stale_after: Duration,
+    /// Final poll instant.
+    pub horizon: Instant,
+    /// Retain the full delivery stream in the report (differential
+    /// tests); otherwise compare digests.
+    pub keep_deliveries: bool,
+    /// Aggregation worker threads (results are identical at any
+    /// setting; the daemon defaults to 1).
+    pub workers: usize,
+    /// Record a [`PollRecord`] per poll for the JSONL run trace.
+    pub log_polls: bool,
+}
+
+impl GatewaydConfig {
+    /// Build from a capture/stream header (daemon defaults: one
+    /// worker, digests only, no poll log).
+    pub fn from_header(h: &WcapHeader) -> Self {
+        GatewaydConfig {
+            gateways: h.gateways as usize,
+            queue_capacity: h.queue_capacity,
+            poll_every: h.poll_every,
+            stale_after: h.stale_after,
+            horizon: h.horizon,
+            keep_deliveries: false,
+            workers: 1,
+            log_polls: false,
+        }
+    }
+}
+
+/// Why the core refused a frame. Every rejection is counted in the
+/// ledger (`rejected`) — a refused frame is accounted, not lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// Lane index out of range for this cluster.
+    LaneOutOfRange {
+        /// The offered lane.
+        lane: u32,
+        /// Configured lane count.
+        gateways: usize,
+    },
+    /// The frame is stamped at or before an already-executed poll: it
+    /// can never join the window it belonged to, and ingesting it late
+    /// would silently shift a later aggregation batch.
+    Stale {
+        /// The frame's stamp.
+        at: Instant,
+        /// The last executed poll.
+        polled: Instant,
+    },
+    /// The frame is stamped earlier than its lane's previous frame;
+    /// staged lanes must be non-decreasing (capture order is the
+    /// medium's arrival order, which is).
+    OutOfOrder {
+        /// The frame's stamp.
+        at: Instant,
+        /// The lane's previous stamp.
+        prev: Instant,
+    },
+    /// The final poll has run; the run is sealed.
+    Finished,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::LaneOutOfRange { lane, gateways } => {
+                write!(f, "lane {lane} out of range (cluster has {gateways})")
+            }
+            IngestError::Stale { at, polled } => write!(
+                f,
+                "frame at {}ns is at or before the executed poll at {}ns",
+                at.as_nanos(),
+                polled.as_nanos()
+            ),
+            IngestError::OutOfOrder { at, prev } => write!(
+                f,
+                "frame at {}ns regresses behind its lane's previous frame at {}ns",
+                at.as_nanos(),
+                prev.as_nanos()
+            ),
+            IngestError::Finished => write!(f, "run is sealed (final poll has executed)"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// One executed poll, for the JSONL run trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollRecord {
+    /// Poll instant.
+    pub at: Instant,
+    /// Deliveries this poll produced.
+    pub delivered: u64,
+    /// Devices evicted as stale at this poll.
+    pub evicted: u64,
+}
+
+/// Everything a finished run measured, shaped to compare against a
+/// [`MetroReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewaydReport {
+    /// Cluster lane count.
+    pub gateways: usize,
+    /// Frames offered to the core (accepted + rejected).
+    pub frames_in: u64,
+    /// Frames refused with a typed [`IngestError`].
+    pub rejected: u64,
+    /// Frames accepted but stamped past the horizon — staged and never
+    /// polled.
+    pub late: u64,
+    /// Polls executed.
+    pub polls: u64,
+    /// Full cluster counters.
+    pub stats: ClusterStats,
+    /// Per-lane gateway pipeline counters (frame-level ledger).
+    pub gateway_stats: Vec<GatewayStats>,
+    /// The delivery stream (empty unless `keep_deliveries`).
+    pub deliveries: Vec<ClusterDelivery>,
+    /// FNV-1a digest over the full delivery stream.
+    pub delivery_digest: u64,
+    /// Devices evicted as stale (in eviction order, as metro reports
+    /// them).
+    pub evicted: Vec<u32>,
+    /// Poll records not yet drained via
+    /// [`GatewaydCore::take_poll_log`] (empty unless
+    /// [`GatewaydConfig::log_polls`]).
+    pub poll_log: Vec<PollRecord>,
+    /// The final poll instant (== configured horizon).
+    pub sim_end: Instant,
+}
+
+impl GatewaydReport {
+    /// Byte-identity against an in-process metro run: cluster counters,
+    /// delivery stream, digest, and evictions all equal. (`sim_end` is
+    /// not compared — the kernel's end time includes device wakes the
+    /// capture does not replay; medium-side fields like `peak_live_tx`
+    /// have no daemon counterpart.)
+    pub fn matches_metro(&self, m: &MetroReport) -> bool {
+        self.gateways == m.gateways
+            && self.stats == m.stats
+            && self.deliveries == m.deliveries
+            && self.delivery_digest == m.delivery_digest
+            && self.evicted == m.evicted
+    }
+
+    /// The frame-level conservation ledger: every frame offered to the
+    /// core was rejected with a typed error, staged past the horizon,
+    /// or seen by a lane's gateway pipeline. Nothing vanishes.
+    pub fn frames_ledger_closes(&self) -> bool {
+        let seen: u64 = self.gateway_stats.iter().map(|g| g.frames_seen).sum();
+        self.frames_in == self.rejected + self.late + seen
+    }
+
+    /// Record the finished run's counters into a telemetry registry
+    /// with the same key vocabulary the live cluster uses (the lane
+    /// counters the report retains), plus the daemon-front-door ledger.
+    /// Serves the post-run scrape after the core has been consumed.
+    pub fn record_telemetry(&self, reg: &mut Registry) {
+        for (i, lane) in self.stats.lanes.iter().enumerate() {
+            let labels = [("lane", LabelValue::from(i))];
+            reg.counter_set("cluster.lane.hears", &labels, lane.hears);
+            reg.counter_set("cluster.lane.queue_drops", &labels, lane.queue_drops);
+            reg.counter_set("cluster.lane.wins", &labels, lane.wins);
+            reg.counter_set("cluster.lane.suppressions", &labels, lane.suppressions);
+            reg.counter_set("cluster.lane.shed", &labels, lane.shed);
+            reg.gauge_set(
+                "cluster.lane.queue.high_water",
+                &labels,
+                lane.queue_high_water as i64,
+            );
+        }
+        reg.counter_set("cluster.delivered", &[], self.stats.delivered);
+        reg.counter_set("cluster.handoffs", &[], self.stats.handoffs);
+        reg.counter_set("cluster.evicted", &[], self.stats.evicted);
+        reg.gauge_set(
+            "cluster.devices_tracked",
+            &[],
+            self.stats.devices_tracked as i64,
+        );
+        reg.counter_set("gatewayd.frames_in", &[], self.frames_in);
+        reg.counter_set("gatewayd.rejected", &[], self.rejected);
+        reg.counter_set("gatewayd.late", &[], self.late);
+        reg.counter_set("gatewayd.polls", &[], self.polls);
+    }
+}
+
+/// The deterministic replay/ingest core. See the module docs for the
+/// exactness contract.
+pub struct GatewaydCore {
+    cfg: GatewaydConfig,
+    cluster: GatewayCluster,
+    /// Per-lane staged frames, non-decreasing by stamp; a poll at `t`
+    /// consumes every staged frame with `at <= t`.
+    staged: Vec<VecDeque<RxFrame>>,
+    /// Per-lane last staged stamp (monotonicity guard).
+    last_at: Vec<Option<Instant>>,
+    /// Last executed poll.
+    polled: Option<Instant>,
+    /// Next due poll.
+    next_poll: Instant,
+    finished: bool,
+    digest: u64,
+    deliveries: Vec<ClusterDelivery>,
+    evicted: Vec<u32>,
+    poll_log: Vec<PollRecord>,
+    frames_in: u64,
+    rejected: u64,
+    polls: u64,
+}
+
+impl GatewaydCore {
+    /// A fresh core: empty cluster lanes, first poll due at
+    /// `ZERO + poll_every` (the metro schedule, unconditionally — even
+    /// a degenerate horizon gets its one poll).
+    pub fn new(cfg: GatewaydConfig) -> Self {
+        assert!(cfg.gateways >= 1, "a cluster needs at least one lane");
+        assert!(cfg.workers >= 1);
+        let mut cluster = GatewayCluster::new(ClusterConfig {
+            queue_capacity: cfg.queue_capacity,
+            roaming: RoamingConfig::default(),
+            shards: 8,
+            stale_after: cfg.stale_after,
+            ..Default::default()
+        });
+        // Lane radios are nominal: the daemon never touches a medium,
+        // but `GatewayIngest` carries its radio id, and lane order is
+        // what the capture's lane indices refer to.
+        for i in 0..cfg.gateways {
+            cluster.add_gateway(GatewayIngest::new(RadioId(i as u32), Gateway::new()));
+        }
+        let next_poll = Instant::ZERO + cfg.poll_every;
+        GatewaydCore {
+            staged: (0..cfg.gateways).map(|_| VecDeque::new()).collect(),
+            last_at: vec![None; cfg.gateways],
+            polled: None,
+            next_poll,
+            finished: false,
+            digest: FNV_OFFSET,
+            deliveries: Vec::new(),
+            evicted: Vec::new(),
+            poll_log: Vec::new(),
+            frames_in: 0,
+            rejected: 0,
+            polls: 0,
+            cfg,
+            cluster,
+        }
+    }
+
+    /// The configuration this core runs.
+    pub fn config(&self) -> &GatewaydConfig {
+        &self.cfg
+    }
+
+    /// Whether the final poll has executed.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Frames offered so far (accepted + rejected).
+    pub fn frames_in(&self) -> u64 {
+        self.frames_in
+    }
+
+    /// Frames refused so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Frames currently staged (accepted, not yet polled).
+    pub fn staged_frames(&self) -> usize {
+        self.staged.iter().map(|q| q.len()).sum()
+    }
+
+    /// Running FNV-1a digest over deliveries so far.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Polls executed so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// Drain the accumulated poll log (empty unless
+    /// [`GatewaydConfig::log_polls`]).
+    pub fn take_poll_log(&mut self) -> Vec<PollRecord> {
+        std::mem::take(&mut self.poll_log)
+    }
+
+    /// Offer one stamped frame. The stamp is a watermark: every poll
+    /// due strictly before it runs first (capture order is poll-major,
+    /// so by the time a frame stamped past a poll boundary arrives,
+    /// every frame belonging to that window has been offered).
+    /// Deliveries produced by those polls land in `out`. A rejected
+    /// frame is counted and reported — never silently dropped.
+    pub fn offer(
+        &mut self,
+        lane: u32,
+        frame: RxFrame,
+        out: &mut Vec<ClusterDelivery>,
+    ) -> Result<(), IngestError> {
+        self.frames_in += 1;
+        if self.finished {
+            self.rejected += 1;
+            return Err(IngestError::Finished);
+        }
+        if lane as usize >= self.cfg.gateways {
+            self.rejected += 1;
+            return Err(IngestError::LaneOutOfRange {
+                lane,
+                gateways: self.cfg.gateways,
+            });
+        }
+        // A frame stamped exactly on the next poll boundary belongs to
+        // that poll (drains are inclusive), so only strictly-later
+        // stamps release it.
+        while !self.finished && self.next_poll < frame.at {
+            self.run_poll(out);
+        }
+        if let Some(p) = self.polled {
+            if frame.at <= p {
+                self.rejected += 1;
+                return Err(IngestError::Stale {
+                    at: frame.at,
+                    polled: p,
+                });
+            }
+        }
+        let lane = lane as usize;
+        if let Some(prev) = self.last_at[lane] {
+            if frame.at < prev {
+                self.rejected += 1;
+                return Err(IngestError::OutOfOrder { at: frame.at, prev });
+            }
+        }
+        self.last_at[lane] = Some(frame.at);
+        self.staged[lane].push_back(frame);
+        Ok(())
+    }
+
+    /// Run every poll due at or before `to` (an explicit watermark —
+    /// the wire `Advance` record, or the daemon's end-of-stream drain).
+    pub fn advance_to(&mut self, to: Instant, out: &mut Vec<ClusterDelivery>) {
+        while !self.finished && self.next_poll <= to {
+            self.run_poll(out);
+        }
+    }
+
+    /// The ISSUE-shaped convenience step: offer a batch of stamped
+    /// frames, then advance to `now`. Returns the deliveries the step
+    /// produced and the per-frame rejections (paired with the input
+    /// index).
+    pub fn step(
+        &mut self,
+        now: Instant,
+        frames: impl IntoIterator<Item = (u32, RxFrame)>,
+    ) -> (Vec<ClusterDelivery>, Vec<(usize, IngestError)>) {
+        let mut out = Vec::new();
+        let mut errs = Vec::new();
+        for (i, (lane, f)) in frames.into_iter().enumerate() {
+            if let Err(e) = self.offer(lane, f, &mut out) {
+                errs.push((i, e));
+            }
+        }
+        self.advance_to(now, &mut out);
+        (out, errs)
+    }
+
+    /// Seal the run: execute every remaining poll through the horizon
+    /// (the final one lands exactly on it), then produce the report.
+    /// Frames still staged afterwards are stamped past the horizon and
+    /// counted as `late`.
+    pub fn finish(mut self, out: &mut Vec<ClusterDelivery>) -> GatewaydReport {
+        while !self.finished {
+            self.run_poll(out);
+        }
+        let late = self.staged_frames() as u64;
+        let stats = self.cluster.stats();
+        assert!(
+            stats.conserves_offered_load(),
+            "delivered + suppressions + drops must equal hears: {stats:?}"
+        );
+        let gateway_stats: Vec<GatewayStats> = (0..self.cfg.gateways)
+            .map(|i| self.cluster.ingest(i).gateway().stats())
+            .collect();
+        let report = GatewaydReport {
+            gateways: self.cfg.gateways,
+            frames_in: self.frames_in,
+            rejected: self.rejected,
+            late,
+            polls: self.polls,
+            stats,
+            gateway_stats,
+            deliveries: self.deliveries,
+            delivery_digest: self.digest,
+            evicted: self.evicted,
+            poll_log: self.poll_log,
+            sim_end: self.polled.expect("finish() executes at least one poll"),
+        };
+        assert!(
+            report.frames_ledger_closes(),
+            "frame ledger must close: {} in != {} rejected + {} late + seen",
+            report.frames_in,
+            report.rejected,
+            report.late
+        );
+        report
+    }
+
+    /// Record the pipeline's counters into a telemetry registry: the
+    /// full cluster/gateway set plus the daemon-front-door ledger.
+    pub fn record_telemetry(&self, reg: &mut Registry) {
+        self.cluster.record_telemetry(reg);
+        reg.counter_set("gatewayd.frames_in", &[], self.frames_in);
+        reg.counter_set("gatewayd.rejected", &[], self.rejected);
+        reg.counter_set("gatewayd.polls", &[], self.polls);
+        reg.gauge_set("gatewayd.staged", &[], self.staged_frames() as i64);
+    }
+
+    /// One poll, mirroring metro's `ClusterSink::on_event` order:
+    /// drain → fold digest → retain → evict stale.
+    fn run_poll(&mut self, out: &mut Vec<ClusterDelivery>) {
+        let t = self.next_poll;
+        let got = self
+            .cluster
+            .poll_staged(&mut self.staged, None, t, self.cfg.workers);
+        for d in &got {
+            fold_delivery(&mut self.digest, d);
+        }
+        if self.cfg.keep_deliveries {
+            self.deliveries.extend(got.iter().cloned());
+        }
+        let evicted = self.cluster.evict_stale(t);
+        if self.cfg.log_polls {
+            self.poll_log.push(PollRecord {
+                at: t,
+                delivered: got.len() as u64,
+                evicted: evicted.len() as u64,
+            });
+        }
+        out.extend(got);
+        self.evicted.extend(evicted);
+        self.polls += 1;
+        self.polled = Some(t);
+        if t < self.cfg.horizon {
+            self.next_poll = (t + self.cfg.poll_every).min(self.cfg.horizon);
+        } else {
+            self.finished = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn cfg() -> GatewaydConfig {
+        GatewaydConfig {
+            gateways: 2,
+            queue_capacity: Some(64),
+            poll_every: Duration::from_secs(5),
+            stale_after: Duration::from_secs(600),
+            horizon: Instant::from_secs(12),
+            keep_deliveries: true,
+            workers: 1,
+            log_polls: true,
+        }
+    }
+
+    fn frame(at_s: u64) -> RxFrame {
+        RxFrame {
+            at: Instant::from_secs(at_s),
+            from: RadioId(99),
+            rssi_dbm: -50.0,
+            snr_db: 20.0,
+            bytes: Arc::from(&b"\x00"[..]),
+        }
+    }
+
+    #[test]
+    fn poll_train_matches_metro_schedule() {
+        // poll_every=5s, horizon=12s → polls at 5, 10, 12 (final poll
+        // clamped to the horizon exactly).
+        let mut core = GatewaydCore::new(cfg());
+        let mut out = Vec::new();
+        let report = {
+            core.advance_to(Instant::from_secs(100), &mut out);
+            core.finish(&mut out)
+        };
+        assert_eq!(report.polls, 3);
+        assert_eq!(report.sim_end, Instant::from_secs(12));
+    }
+
+    #[test]
+    fn rejections_are_typed_and_counted() {
+        let mut core = GatewaydCore::new(cfg());
+        let mut out = Vec::new();
+        assert_eq!(
+            core.offer(7, frame(1), &mut out),
+            Err(IngestError::LaneOutOfRange {
+                lane: 7,
+                gateways: 2
+            })
+        );
+        // A frame stamped past the first poll boundary executes it...
+        core.offer(0, frame(6), &mut out).unwrap();
+        assert_eq!(core.polls(), 1);
+        // ...after which a frame at or before that poll is stale.
+        assert_eq!(
+            core.offer(0, frame(4), &mut out),
+            Err(IngestError::Stale {
+                at: Instant::from_secs(4),
+                polled: Instant::from_secs(5),
+            })
+        );
+        // Lane regression is refused.
+        core.offer(0, frame(8), &mut out).unwrap();
+        assert_eq!(
+            core.offer(0, frame(7), &mut out),
+            Err(IngestError::OutOfOrder {
+                at: Instant::from_secs(7),
+                prev: Instant::from_secs(8),
+            })
+        );
+        let report = core.finish(&mut out);
+        assert_eq!(report.frames_in, 5);
+        assert_eq!(report.rejected, 3);
+        assert!(report.frames_ledger_closes());
+    }
+
+    #[test]
+    fn late_frames_are_ledgered() {
+        let mut core = GatewaydCore::new(cfg());
+        let mut out = Vec::new();
+        // Stamped past the horizon: staged, never polled, counted late.
+        core.offer(1, frame(50), &mut out).unwrap();
+        let report = core.finish(&mut out);
+        assert_eq!(report.late, 1);
+        assert!(report.frames_ledger_closes());
+    }
+}

@@ -1,0 +1,148 @@
+//! The telemetry scrape endpoint: a hand-rolled, dependency-free
+//! HTTP/1.0 responder on its own thread.
+//!
+//! Three routes, all read-only over the shared [`DaemonState`]:
+//!
+//! * `GET /metrics`  — the telemetry registry rendered as the standard
+//!   text scrape (`counter`/`gauge`/`hist` lines), live while the run
+//!   is in flight and final after the drain;
+//! * `GET /healthz`  — liveness probe, `ok`;
+//! * `GET /report`   — compact JSON status (phase, ledger counters,
+//!   digest once finished).
+//!
+//! Observation only: the endpoint never mutates the core, so scraping
+//! mid-run cannot perturb the deterministic pipeline.
+
+use crate::daemon::DaemonState;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration as StdDuration;
+
+/// A running scrape server; drop-in handle for shutdown.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serve scrapes of `state` on a background thread.
+    pub fn start(addr: &str, state: Arc<Mutex<DaemonState>>) -> io::Result<ScrapeServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("gatewayd-scrape".into())
+            .spawn(move || serve(listener, state, stop2))?;
+        Ok(ScrapeServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread and join it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, state: Arc<Mutex<DaemonState>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Best-effort: a failed scrape never takes the daemon
+                // down.
+                let _ = respond(stream, &state);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(StdDuration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, state: &Arc<Mutex<DaemonState>>) -> io::Result<()> {
+    stream.set_read_timeout(Some(StdDuration::from_millis(500)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            state.lock().unwrap().render_metrics(),
+        ),
+        "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+        "/report" => (
+            "200 OK",
+            "application/json",
+            state.lock().unwrap().status_json(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read up to the end of the request head and return the path of the
+/// request line (`GET <path> HTTP/1.x`).
+fn read_request_path(stream: &mut TcpStream) -> io::Result<String> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(b"");
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let _method = parts.next().unwrap_or("");
+    Ok(parts.next().unwrap_or("/").to_string())
+}

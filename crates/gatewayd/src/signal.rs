@@ -1,0 +1,62 @@
+//! Minimal SIGTERM/SIGINT hook with no external crate: on unix, std
+//! already links libc, so `signal(2)` is reachable through a single
+//! `extern "C"` declaration. The handler does exactly one async-
+//! signal-safe thing — store into a static atomic — and the daemon
+//! loops poll that flag between reads.
+//!
+//! This is the only module in the workspace allowed to use `unsafe`
+//! (the crate is `deny(unsafe_code)`; the rest of the workspace is
+//! `forbid`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// Whether a stop signal (or [`request_stop`]) has been seen.
+pub fn stop_requested() -> bool {
+    STOP.load(Ordering::SeqCst)
+}
+
+/// Programmatic stop: same effect as receiving SIGTERM.
+pub fn request_stop() {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Testing hook: clear the stop flag.
+pub fn reset_stop() {
+    STOP.store(false, Ordering::SeqCst);
+}
+
+/// Install the SIGTERM/SIGINT handler (no-op off unix).
+pub fn install_stop_handler() {
+    imp::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::STOP.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}

@@ -1,0 +1,175 @@
+//! Loopback end-to-end smoke: feeder → daemon → scrape, bounded
+//! runtime, with the determinism contract asserted across the wire.
+//!
+//! Two levels:
+//!
+//! * in-process — [`Daemon::serve_tcp`] on a thread, [`feed_capture`]
+//!   over a real TCP loopback connection, a live [`ScrapeServer`]
+//!   probed mid-run; the final report must be byte-identical to the
+//!   in-process metro run the capture was recorded from.
+//! * binaries — the actual `wile-feeder` and `wile-gatewayd`
+//!   executables wired together over loopback TCP, digest checked
+//!   against the library run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Command, Stdio};
+use std::time::{Duration as StdDuration, Instant as WallInstant};
+use wile_gatewayd::capture::capture_metro;
+use wile_gatewayd::daemon::{Daemon, DaemonOptions};
+use wile_gatewayd::feeder::{feed_capture, Pace};
+use wile_gatewayd::scrape::ScrapeServer;
+use wile_gatewayd::signal;
+use wile_scenarios::metro::MetroConfig;
+
+const DEADLINE: StdDuration = StdDuration::from_secs(60);
+
+#[test]
+fn in_process_loopback_feeder_daemon_scrape() {
+    signal::reset_stop();
+    let cfg = MetroConfig::smoke(7);
+    let (metro, capture, frames) = capture_metro(&cfg, 1, Vec::new()).expect("capture");
+    assert!(frames > 0);
+
+    let mut daemon = Daemon::new(
+        DaemonOptions {
+            workers: 1,
+            keep_deliveries: true,
+            config: None,
+        },
+        None,
+    )
+    .expect("daemon");
+    let scrape = ScrapeServer::start("127.0.0.1:0", daemon.state()).expect("scrape server");
+    let scrape_addr = scrape.addr();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let daemon_addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || daemon.serve_tcp(listener).expect("serve"));
+
+    // The scrape endpoint is live before any frames arrive.
+    let health = http_get(&scrape_addr.to_string(), "/healthz");
+    assert_eq!(health.trim(), "ok");
+
+    // Feed the capture at max rate over the loopback connection; the
+    // feeder appends Advance-to-horizon + Shutdown, so the daemon
+    // drains and returns.
+    let mut conn = TcpStream::connect(daemon_addr).expect("connect daemon");
+    let summary = feed_capture(&capture, &mut conn, Pace::MaxRate).expect("feed");
+    assert_eq!(summary.frames, frames);
+    drop(conn);
+
+    let report = server.join().expect("server thread");
+    assert!(
+        report.matches_metro(&metro),
+        "loopback transport must reproduce the in-process run byte for byte"
+    );
+    assert_eq!(report.delivery_digest, metro.delivery_digest);
+    assert_eq!(report.rejected, 0);
+    assert!(report.frames_ledger_closes());
+
+    // Post-run scrape: the final report's counters are served.
+    let metrics = http_get(&scrape_addr.to_string(), "/metrics");
+    assert!(metrics.contains("counter cluster.delivered"));
+    assert!(metrics.contains(&format!("counter gatewayd.frames_in {frames}")));
+    let status = http_get(&scrape_addr.to_string(), "/report");
+    assert!(status.contains("\"phase\":\"finished\""));
+    assert!(status.contains(&format!("{:#018x}", metro.delivery_digest)));
+    scrape.shutdown();
+}
+
+#[test]
+fn binaries_end_to_end_over_loopback() {
+    let cfg = MetroConfig::smoke(9);
+    let (metro, capture, _) = capture_metro(&cfg, 1, Vec::new()).expect("capture");
+    let dir = std::env::temp_dir().join(format!("wile_loopback_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let wcap = dir.join("smoke9.wcap");
+    std::fs::write(&wcap, &capture).expect("write capture");
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_wile-gatewayd"))
+        .args(["--listen", "127.0.0.1:0", "--scrape", "127.0.0.1:0"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn wile-gatewayd");
+    let mut stderr = BufReader::new(daemon.stderr.take().expect("stderr piped"));
+    let scrape_addr = wait_for_addr(&mut stderr, "scrape endpoint on");
+    let listen_addr = wait_for_addr(&mut stderr, "listening on");
+
+    // Liveness before traffic.
+    assert_eq!(http_get(&scrape_addr, "/healthz").trim(), "ok");
+
+    let feeder = Command::new(env!("CARGO_BIN_EXE_wile-feeder"))
+        .args([
+            "--capture",
+            wcap.to_str().unwrap(),
+            "--connect",
+            &listen_addr,
+        ])
+        .status()
+        .expect("run wile-feeder");
+    assert!(feeder.success(), "feeder must exit 0");
+
+    // The feeder's Shutdown record drains the daemon; bounded wait.
+    let start = WallInstant::now();
+    let status = loop {
+        if let Some(s) = daemon.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(
+            start.elapsed() < DEADLINE,
+            "daemon did not exit after the feeder's shutdown record"
+        );
+        std::thread::sleep(StdDuration::from_millis(20));
+    };
+    assert!(status.success(), "daemon must exit 0, got {status:?}");
+
+    let mut stdout = String::new();
+    daemon
+        .stdout
+        .take()
+        .expect("stdout piped")
+        .read_to_string(&mut stdout)
+        .expect("read stdout");
+    assert!(
+        stdout.contains(&format!("{:#018x}", metro.delivery_digest)),
+        "daemon report must carry the in-process digest {:#018x}:\n{stdout}",
+        metro.delivery_digest
+    );
+    assert!(stdout.contains("closed (nothing lost)"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Minimal HTTP/1.0 GET against the scrape endpoint, returning the
+/// body.
+fn http_get(addr: &str, path: &str) -> String {
+    let mut conn = TcpStream::connect(addr).expect("connect scrape");
+    write!(conn, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
+
+/// Read stderr lines until the daemon announces an endpoint matching
+/// `marker`, returning the `host:port` it bound.
+fn wait_for_addr(stderr: &mut impl BufRead, marker: &str) -> String {
+    let start = WallInstant::now();
+    let mut line = String::new();
+    loop {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "daemon never announced {marker:?}"
+        );
+        line.clear();
+        let n = stderr.read_line(&mut line).expect("read daemon stderr");
+        assert!(n > 0, "daemon stderr closed before announcing {marker:?}");
+        if let Some(rest) = line.trim().split(marker).nth(1) {
+            return rest.trim().trim_start_matches("http://").to_string();
+        }
+    }
+}

@@ -29,7 +29,8 @@
 //! that every faulted run is byte-identical across worker counts.
 
 use crate::metro::{
-    beacons_sent, build_world, fold_delivery, MetroConfig, MetroEv, MetroReport, FNV_OFFSET,
+    beacons_sent, build_world, fold_delivery, FrameTap, MetroConfig, MetroEv, MetroReport,
+    FNV_OFFSET,
 };
 use std::collections::HashSet;
 use wile::monitor::Gateway;
@@ -38,6 +39,7 @@ use wile_cluster::{
     ClusterStats, GatewayCluster, LaneEvent, LaneEventRecord, PartitionPolicy, RoamingConfig,
     UnifiedPhase,
 };
+use wile_radio::medium::RxFrame;
 use wile_radio::plan::Disturbance;
 use wile_radio::time::{Duration, Instant};
 use wile_sim::ingest::GatewayIngest;
@@ -308,6 +310,9 @@ struct ChaosSink {
     lane_events: Vec<LaneEventRecord>,
     probes: Vec<Option<RecoveryProbe>>,
     recoveries: Vec<LaneRecovery>,
+    /// Raw-frame observation hook (`.wcap` capture); `None` on every
+    /// path that doesn't record.
+    tap: Option<FrameTap>,
 }
 
 /// Span/trace key for a lane: distinct from every actor id (actors
@@ -319,9 +324,15 @@ fn lane_key(lane: usize) -> u32 {
 impl Actor<MetroEv> for ChaosSink {
     fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
         // Mirror of metro's ClusterSink poll train, byte for byte.
-        let got = self
-            .cluster
-            .poll(ctx.medium, ctx.faults.as_deref_mut(), now, self.workers);
+        let got = self.cluster.poll_tapped(
+            ctx.medium,
+            ctx.faults.as_deref_mut(),
+            now,
+            self.workers,
+            self.tap
+                .as_mut()
+                .map(|t| &mut **t as &mut dyn FnMut(usize, &RxFrame)),
+        );
         ctx.emit("poll_delivered", got.len() as u64);
         for d in &got {
             fold_delivery(&mut self.digest, d);
@@ -467,6 +478,20 @@ pub fn run_chaos_with_telemetry(
     workers: usize,
     tel: &mut Telemetry,
 ) -> ChaosReport {
+    run_chaos_with(cfg, workers, tel, None)
+}
+
+/// The fully general chaos runner: telemetry *and* an optional
+/// [`FrameTap`] observing the raw per-lane frame stream (the `.wcap`
+/// capture hook, firing on every frame the radios hear — including
+/// frames a crashed lane's process never ingests). `tap = None` is
+/// exactly [`run_chaos_with_telemetry`].
+pub fn run_chaos_with(
+    cfg: &ChaosConfig,
+    workers: usize,
+    tel: &mut Telemetry,
+    tap: Option<FrameTap>,
+) -> ChaosReport {
     let (mut kernel, gw_radios, mut registry, fleet) = build_world(&cfg.metro);
     if tel.enabled() {
         let mut kt = Telemetry::new();
@@ -544,6 +569,7 @@ pub fn run_chaos_with_telemetry(
         lane_events: Vec::new(),
         probes: (0..lanes).map(|_| None).collect(),
         recoveries: Vec::new(),
+        tap,
     });
     kernel.schedule(Instant::ZERO + cfg.metro.poll_every, sink, MetroEv::Poll);
 

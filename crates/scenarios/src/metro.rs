@@ -33,7 +33,7 @@ use wile_dot11::mac::SeqControl;
 use wile_dot11::phy::{frame_airtime_us, PhyRate};
 use wile_mac::{AirCtx, MacSap, McpsDataRequest, WileMac};
 use wile_radio::channel::ChannelModel;
-use wile_radio::medium::{RadioConfig, RadioId, TxParams};
+use wile_radio::medium::{RadioConfig, RadioId, RxFrame, TxParams};
 use wile_radio::plan::{Disturbance, FaultPhase, FaultPlan, FaultTimeline};
 use wile_radio::time::{Duration, Instant};
 use wile_sim::ingest::GatewayIngest;
@@ -376,8 +376,19 @@ impl Actor<MetroEv> for DirectMetroFleet {
     }
 }
 
-/// Fold one delivery into the FNV-1a digest.
-pub(crate) fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
+/// An observation hook over the raw per-lane frame stream: called with
+/// `(lane, frame)` for every frame a cluster lane pulls off the medium,
+/// before admission predicates or fault timelines touch it. This is the
+/// `.wcap` capture point — `wile-gatewayd` hangs its recorder here and
+/// replays the identical stream through the same pipeline. Taps observe
+/// only; the run is byte-identical with or without one.
+pub type FrameTap = Box<dyn FnMut(usize, &RxFrame)>;
+
+/// Fold one delivery into the FNV-1a digest. Every runner that folds a
+/// delivery stream — metro, chaos, and the `wile-gatewayd` replay core —
+/// must use this single definition; digest equality is the compact
+/// byte-identity witness across all of them.
+pub fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
     let mut fold = |v: u64| {
         *h ^= v;
         *h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -394,7 +405,9 @@ pub(crate) fn fold_delivery(h: &mut u64, d: &ClusterDelivery) {
     }
 }
 
-pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a offset basis — the seed value every delivery digest starts
+/// from (see [`fold_delivery`]).
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// The cluster sink: poll, digest, release, sample memory, repeat.
 struct ClusterSink {
@@ -407,13 +420,22 @@ struct ClusterSink {
     digest: u64,
     peak_live_tx: usize,
     evicted: Vec<u32>,
+    /// Raw-frame observation hook (`.wcap` capture); `None` on every
+    /// path that doesn't record.
+    tap: Option<FrameTap>,
 }
 
 impl Actor<MetroEv> for ClusterSink {
     fn on_event(&mut self, now: Instant, _ev: MetroEv, ctx: &mut Ctx<'_, MetroEv>) {
-        let got = self
-            .cluster
-            .poll(ctx.medium, ctx.faults.as_deref_mut(), now, self.workers);
+        let got = self.cluster.poll_tapped(
+            ctx.medium,
+            ctx.faults.as_deref_mut(),
+            now,
+            self.workers,
+            self.tap
+                .as_mut()
+                .map(|t| &mut **t as &mut dyn FnMut(usize, &RxFrame)),
+        );
         // RunLog is disabled at metro scale, but the telemetry trace
         // (when a collector is installed) still records the poll train.
         ctx.emit("poll_delivered", got.len() as u64);
@@ -640,6 +662,7 @@ pub fn run_metro_direct(cfg: &MetroConfig, workers: usize) -> MetroReport {
         digest: FNV_OFFSET,
         peak_live_tx: 0,
         evicted: Vec::new(),
+        tap: None,
     });
     kernel.schedule(Instant::ZERO + cfg.poll_every, sink, MetroEv::Poll);
 
@@ -693,6 +716,21 @@ pub fn run_metro_with_telemetry(
     workers: usize,
     tel: &mut Telemetry,
 ) -> MetroReport {
+    run_metro_with(cfg, workers, tel, None)
+}
+
+/// The fully general metro runner: telemetry *and* an optional
+/// [`FrameTap`] observing the raw per-lane frame stream (the `.wcap`
+/// capture hook). Both observation channels are proven non-perturbing —
+/// `tap = None` is exactly [`run_metro_with_telemetry`], and the
+/// gatewayd differential oracle proves a tapped run's report equals an
+/// untapped one's.
+pub fn run_metro_with(
+    cfg: &MetroConfig,
+    workers: usize,
+    tel: &mut Telemetry,
+    tap: Option<FrameTap>,
+) -> MetroReport {
     let (mut kernel, gw_radios, mut registry, fleet) = build_world(cfg);
     if tel.enabled() {
         let mut kt = Telemetry::new();
@@ -724,6 +762,7 @@ pub fn run_metro_with_telemetry(
         digest: FNV_OFFSET,
         peak_live_tx: 0,
         evicted: Vec::new(),
+        tap,
     });
     kernel.schedule(Instant::ZERO + cfg.poll_every, sink, MetroEv::Poll);
 

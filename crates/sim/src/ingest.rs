@@ -13,7 +13,7 @@
 use wile::monitor::{Gateway, Received};
 use wile_mac::{MacProtocol, McpsDataIndication};
 use wile_radio::fault::FaultOutcome;
-use wile_radio::medium::{Medium, RadioId};
+use wile_radio::medium::{Medium, RadioId, RxFrame};
 use wile_radio::plan::FaultTimeline;
 use wile_radio::time::Instant;
 
@@ -91,12 +91,53 @@ impl GatewayIngest {
     pub fn drain_when(
         &mut self,
         medium: &mut Medium,
-        mut faults: Option<&mut FaultTimeline>,
+        faults: Option<&mut FaultTimeline>,
         up_to: Instant,
+        admit: impl FnMut(Instant) -> bool,
+    ) -> Vec<Received> {
+        self.drain_when_tapped(medium, faults, up_to, admit, None)
+    }
+
+    /// [`drain_when`](GatewayIngest::drain_when) with an observation tap
+    /// invoked on every raw frame pulled off the medium, *before* the
+    /// admission predicate or fault timeline touch it. The tap sees the
+    /// byte-exact air-side stream — it is the capture hook `.wcap`
+    /// recorders hang off — and must not perturb results: it takes the
+    /// frame by shared reference and the drain proceeds identically
+    /// whether a tap is present or not.
+    pub fn drain_when_tapped(
+        &mut self,
+        medium: &mut Medium,
+        faults: Option<&mut FaultTimeline>,
+        up_to: Instant,
+        admit: impl FnMut(Instant) -> bool,
+        mut tap: Option<&mut dyn FnMut(&RxFrame)>,
+    ) -> Vec<Received> {
+        let frames = medium.take_inbox(self.radio, up_to);
+        if let Some(t) = tap.as_mut() {
+            for f in &frames {
+                t(f);
+            }
+        }
+        self.ingest_when(frames, faults, admit)
+    }
+
+    /// The medium-free back half of
+    /// [`drain_when`](GatewayIngest::drain_when): apply the admission
+    /// predicate and air-side fault timeline to frames the *caller*
+    /// sourced (a staged replay buffer, a socket, a capture file) and
+    /// feed survivors through the gateway pipeline. `drain_when` is
+    /// exactly `take_inbox` + this — the ingestion service front-end
+    /// reuses this half so a replayed frame takes the byte-identical
+    /// code path a simulated one does.
+    pub fn ingest_when(
+        &mut self,
+        frames: impl IntoIterator<Item = RxFrame>,
+        mut faults: Option<&mut FaultTimeline>,
         mut admit: impl FnMut(Instant) -> bool,
     ) -> Vec<Received> {
         let mut survivors = Vec::new();
-        for mut f in medium.take_inbox(self.radio, up_to) {
+        for mut f in frames {
             if !admit(f.at) {
                 continue;
             }

@@ -11,13 +11,33 @@
 //! EXPERIMENTS.md E13.
 //!
 //! ```sh
-//! cargo run --release --example chaos_metro
+//! cargo run --release --example chaos_metro [-- --capture chaos.wcap]
 //! ```
+//!
+//! With `--capture PATH`, the raw per-lane frame stream — the *offered*
+//! load, including frames a crashed lane never ingests — is recorded to
+//! a `.wcap` file for daemon replay.
 
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::time::Instant as WallInstant;
-use wile_scenarios::chaos::{run_chaos_with_telemetry, ChaosConfig};
+use wile_gatewayd::capture::{capture_tap, finish_shared, metro_header, CaptureWriter};
+use wile_scenarios::chaos::{run_chaos_with, ChaosConfig};
 use wile_sim::engine::available_workers;
 use wile_telemetry::Telemetry;
+
+/// `--capture PATH` (the only accepted argument).
+fn parse_capture_arg() -> Option<PathBuf> {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        None => None,
+        Some("--capture") => Some(PathBuf::from(it.next().expect("--capture requires a path"))),
+        Some(a) => panic!("unknown argument {a:?} (usage: chaos_metro [--capture PATH])"),
+    }
+}
 
 /// Peak resident set size in MiB, if the platform exposes it.
 fn peak_rss_mib() -> Option<f64> {
@@ -39,10 +59,26 @@ fn main() {
         workers,
     );
 
+    let capture = parse_capture_arg();
     let t0 = WallInstant::now();
     let mut tel = Telemetry::new();
-    let report = run_chaos_with_telemetry(&cfg, workers, &mut tel);
+    let writer = capture.as_ref().map(|p| {
+        let file = BufWriter::new(File::create(p).expect("create capture file"));
+        Rc::new(RefCell::new(CaptureWriter::new(
+            file,
+            &metro_header(&cfg.metro),
+        )))
+    });
+    let report = run_chaos_with(&cfg, workers, &mut tel, writer.as_ref().map(capture_tap));
     let wall = t0.elapsed();
+    if let (Some(w), Some(p)) = (writer, capture) {
+        let (_, frames) = finish_shared(w).expect("flush capture");
+        println!(
+            "capture             {:>12} frames -> {}",
+            frames,
+            p.display()
+        );
+    }
 
     let stats = &report.metro.stats;
     println!(

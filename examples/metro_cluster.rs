@@ -10,13 +10,33 @@
 //! in EXPERIMENTS.md E11.
 //!
 //! ```sh
-//! cargo run --release --example metro_cluster
+//! cargo run --release --example metro_cluster [-- --capture metro.wcap]
 //! ```
+//!
+//! With `--capture PATH`, the exact per-lane frame/arrival stream is
+//! recorded to a `.wcap` file that `wile-gatewayd --replay` (or the
+//! `gatewayd_replay` example) reproduces byte for byte.
 
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+use std::rc::Rc;
 use std::time::Instant as WallInstant;
-use wile_scenarios::metro::{run_metro_with_telemetry, MetroConfig};
+use wile_gatewayd::capture::{capture_tap, finish_shared, metro_header, CaptureWriter};
+use wile_scenarios::metro::{run_metro_with, MetroConfig};
 use wile_sim::engine::available_workers;
 use wile_telemetry::Telemetry;
+
+/// `--capture PATH` (the only accepted argument).
+fn parse_capture_arg() -> Option<PathBuf> {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        None => None,
+        Some("--capture") => Some(PathBuf::from(it.next().expect("--capture requires a path"))),
+        Some(a) => panic!("unknown argument {a:?} (usage: metro_cluster [--capture PATH])"),
+    }
+}
 
 /// Peak resident set size in MiB, if the platform exposes it.
 fn peak_rss_mib() -> Option<f64> {
@@ -40,10 +60,23 @@ fn main() {
         workers,
     );
 
+    let capture = parse_capture_arg();
     let t0 = WallInstant::now();
     let mut tel = Telemetry::new();
-    let report = run_metro_with_telemetry(&cfg, workers, &mut tel);
+    let writer = capture.as_ref().map(|p| {
+        let file = BufWriter::new(File::create(p).expect("create capture file"));
+        Rc::new(RefCell::new(CaptureWriter::new(file, &metro_header(&cfg))))
+    });
+    let report = run_metro_with(&cfg, workers, &mut tel, writer.as_ref().map(capture_tap));
     let wall = t0.elapsed();
+    if let (Some(w), Some(p)) = (writer, capture) {
+        let (_, frames) = finish_shared(w).expect("flush capture");
+        println!(
+            "capture             {:>12} frames -> {}",
+            frames,
+            p.display()
+        );
+    }
 
     let stats = &report.stats;
     println!(
